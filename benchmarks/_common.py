@@ -1,0 +1,49 @@
+"""Shared plumbing for the benchmark suite.
+
+Every bench follows the same contract:
+
+* the *experiment body* is executed once inside ``benchmark.pedantic`` so
+  pytest-benchmark reports its wall-clock cost;
+* the body returns a dict of result rows which the bench then
+  (a) prints as an ASCII table straight to the terminal (bypassing pytest
+  capture via ``capsys.disabled``), (b) persists under
+  ``benchmarks/results/<name>.json`` for EXPERIMENTS.md, and (c) asserts
+  the *shape* claims of the paper (who wins, rough factors, scaling
+  exponents) — never exact numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import render_table, save_json
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+__all__ = ["RESULTS_DIR", "emit", "run_once"]
+
+
+def emit(capsys, name: str, title: str, headers, rows, extra=None) -> None:
+    """Print a result table to the real terminal and persist it as JSON."""
+    payload = {
+        "experiment": name,
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(r) for r in rows],
+    }
+    if extra:
+        payload["extra"] = extra
+    save_json(RESULTS_DIR / f"{name}.json", payload)
+    text = f"\n== {title} ==\n" + render_table(headers, rows)
+    if extra:
+        text += "\n" + "\n".join(f"  {k}: {v}" for k, v in extra.items())
+    if capsys is not None:
+        with capsys.disabled():
+            print(text)
+    else:  # pragma: no cover - direct script usage
+        print(text)
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

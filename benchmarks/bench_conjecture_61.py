@@ -1,0 +1,70 @@
+"""Conjecture 6.1: ``t_par(G) ≤ t_seq(G) + t_cov(G)``.
+
+The paper's proposed route to Open Problem 2: when StP cuts and pastes
+trajectory sections, the moved sections need not cover the graph, so the
+parallel time should exceed the sequential one by at most one cover time.
+We test the inequality (in the mean) on every family — the conjecture
+survives everywhere at these sizes.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.core import parallel_idla, sequential_idla
+from repro.theory import FAMILIES
+from repro.utils.rng import stable_seed
+from repro.walks import empirical_cover_times
+
+CASES = [
+    ("path", 48), ("cycle", 48), ("complete", 128), ("hypercube", 128),
+    ("binary_tree", 63), ("grid2d", 64), ("torus3d", 125), ("expander", 128),
+]
+REPS = 30
+
+
+def _experiment():
+    rows = []
+    for fam_name, n in CASES:
+        g = FAMILIES[fam_name].build(n, seed=stable_seed("c61-g", fam_name))
+        seq = np.mean(
+            [
+                sequential_idla(g, 0, seed=stable_seed("c61-s", fam_name, r)).dispersion_time
+                for r in range(REPS)
+            ]
+        )
+        par = np.mean(
+            [
+                parallel_idla(g, 0, seed=stable_seed("c61-p", fam_name, r)).dispersion_time
+                for r in range(REPS)
+            ]
+        )
+        cov = empirical_cover_times(
+            g, 0, reps=REPS, seed=stable_seed("c61-c", fam_name)
+        ).mean()
+        rows.append(
+            [
+                fam_name,
+                g.n,
+                round(seq, 1),
+                round(par, 1),
+                round(cov, 1),
+                round(seq + cov, 1),
+                round((seq + cov) / par, 2),
+            ]
+        )
+    return {"rows": rows}
+
+
+def bench_conjecture_61(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "conjecture_61",
+        "Conj 6.1 — t_par ≤ t_seq + t_cov (means; margin = rhs/lhs)",
+        ["family", "n", "E[τ_seq]", "E[τ_par]", "E[t_cov]", "seq+cov",
+         "margin"],
+        out["rows"],
+    )
+    for row in out["rows"]:
+        # mean-level inequality with 10% MC slack
+        assert row[3] <= 1.1 * row[5], f"conjecture violated on {row[0]}"

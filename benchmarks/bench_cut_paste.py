@@ -1,0 +1,74 @@
+"""Cut & Paste machinery: Lemma 4.6 statistics + transform throughput.
+
+Quantifies the coupling that powers Theorem 4.1: across many recorded
+runs, StP never shrinks the longest row (Lemma 4.6) and the mean
+stretch factor explains the seq→par slowdown.  Also times StP/PtS on a
+large block — the transforms are linear in total length.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.core import (
+    parallel_to_sequential,
+    sequential_idla,
+    sequential_to_parallel,
+)
+from repro.graphs import complete_graph, cycle_graph, grid_graph
+from repro.utils.rng import stable_seed
+
+GRAPHS = [cycle_graph(32), complete_graph(64), grid_graph(6, 6)]
+REPS = 40
+
+
+def _experiment():
+    rows = []
+    for g in GRAPHS:
+        stretch = []
+        violations = 0
+        for r in range(REPS):
+            res = sequential_idla(g, 0, seed=stable_seed("cp", g.name, r), record=True)
+            b = res.block()
+            out = sequential_to_parallel(b)
+            if out.max_row_length < b.max_row_length:
+                violations += 1
+            stretch.append(out.max_row_length / max(b.max_row_length, 1))
+            # round trip must be identity
+            assert parallel_to_sequential(out) == b
+        rows.append(
+            [
+                g.name,
+                REPS,
+                violations,
+                round(float(np.mean(stretch)), 3),
+                round(float(np.max(stretch)), 3),
+            ]
+        )
+    return {"rows": rows}
+
+
+def bench_cut_paste_lemma46(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "cut_paste",
+        "Lemma 4.6 — StP longest-row stretch (never < 1) + bijection round trip",
+        ["graph", "runs", "violations", "mean stretch", "max stretch"],
+        out["rows"],
+    )
+    for row in out["rows"]:
+        assert row[2] == 0
+        assert row[3] >= 1.0
+
+
+def bench_cut_paste_throughput(benchmark):
+    """Pure-performance leg: StP on one large cycle block (timed by rounds)."""
+    g = cycle_graph(96)
+    res = sequential_idla(g, 0, seed=1234, record=True)
+    block = res.block()
+
+    def transform():
+        return sequential_to_parallel(block)
+
+    out = benchmark(transform)
+    assert out.total_length == block.total_length

@@ -1,0 +1,77 @@
+"""Theorem 4.1: ``τ_seq ⪯ τ_par`` and total steps are equidistributed.
+
+The Cut & Paste coupling says: (i) the dispersion time of the parallel
+process stochastically dominates the sequential one — checked here at
+every decile; (ii) the total number of jumps has *identical* law in both
+processes — checked with a two-sample Kolmogorov–Smirnov distance well
+below the rejection threshold.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.core import parallel_idla, sequential_idla
+from repro.graphs import complete_graph, cycle_graph, grid_graph
+from repro.utils.rng import stable_seed
+
+REPS = 200
+GRAPHS = [cycle_graph(32), complete_graph(64), grid_graph(6, 6)]
+
+
+def _samples(driver, g, tag):
+    disp = np.empty(REPS)
+    tot = np.empty(REPS)
+    for r in range(REPS):
+        res = driver(g, 0, seed=stable_seed("dom", tag, g.name, r))
+        disp[r], tot[r] = res.dispersion_time, res.total_steps
+    return disp, tot
+
+
+def _ks(a, b):
+    grid = np.unique(np.concatenate([a, b]))
+    ca = np.searchsorted(np.sort(a), grid, side="right") / a.size
+    cb = np.searchsorted(np.sort(b), grid, side="right") / b.size
+    return float(np.abs(ca - cb).max())
+
+
+def _experiment():
+    rows = []
+    for g in GRAPHS:
+        ds, ts = _samples(sequential_idla, g, "s")
+        dp, tp = _samples(parallel_idla, g, "p")
+        deciles_ok = sum(
+            np.quantile(ds, q) <= np.quantile(dp, q) * 1.2
+            for q in np.arange(0.1, 1.0, 0.1)
+        )
+        rows.append(
+            [
+                g.name,
+                round(ds.mean(), 1),
+                round(dp.mean(), 1),
+                round(dp.mean() / ds.mean(), 3),
+                int(deciles_ok),
+                round(_ks(ts, tp), 4),
+                round(ts.mean(), 1),
+                round(tp.mean(), 1),
+            ]
+        )
+    return {"rows": rows}
+
+
+def bench_domination(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    # KS rejection threshold at alpha = 0.001 for two samples of size REPS
+    ks_crit = 1.95 * np.sqrt(2 / REPS)
+    emit(
+        capsys,
+        "domination",
+        "Thm 4.1 — τ_seq ⪯ τ_par; total steps equidistributed",
+        ["graph", "E[τ_seq]", "E[τ_par]", "par/seq", "deciles ordered (of 9)",
+         "KS(total)", "E[total] seq", "E[total] par"],
+        out["rows"],
+        extra={"KS rejection threshold (α=0.001)": round(ks_crit, 4)},
+    )
+    for row in out["rows"]:
+        assert row[3] >= 0.95          # parallel at least as slow on average
+        assert row[4] == 9             # all deciles ordered (with slack)
+        assert row[5] < ks_crit        # total steps: same distribution

@@ -1,0 +1,57 @@
+"""Exact-DP oracle vs every scheduler (the sharpest Theorem 4.1 check).
+
+:func:`repro.markov.analyze_sequential_idla` computes ``E[total steps]``
+of Sequential-IDLA *exactly*.  By the Cut & Paste coupling the same value
+is the expected total for Parallel-, Uniform- and CTU-IDLA.  This bench
+pits all four Monte-Carlo drivers against the oracle, with z-scores.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.core import ctu_idla, parallel_idla, sequential_idla, uniform_idla
+from repro.graphs import complete_graph, cycle_graph, grid_graph, star_graph
+from repro.markov import analyze_sequential_idla
+from repro.utils.rng import stable_seed
+
+GRAPHS = [cycle_graph(10), complete_graph(9), star_graph(9), grid_graph(3, 3)]
+DRIVERS = [
+    ("sequential", sequential_idla),
+    ("parallel", parallel_idla),
+    ("uniform", uniform_idla),
+    ("ctu", ctu_idla),
+]
+REPS = 400
+
+
+def _experiment():
+    rows = []
+    for g in GRAPHS:
+        exact = analyze_sequential_idla(g).expected_total_steps
+        for name, driver in DRIVERS:
+            tot = np.array(
+                [
+                    driver(g, 0, seed=stable_seed("oracle", g.name, name, r)).total_steps
+                    for r in range(REPS)
+                ]
+            )
+            sem = tot.std() / np.sqrt(REPS)
+            z = (tot.mean() - exact) / max(sem, 1e-12)
+            rows.append(
+                [g.name, name, round(exact, 2), round(tot.mean(), 2),
+                 round(sem, 2), round(z, 2)]
+            )
+    return {"rows": rows}
+
+
+def bench_exact_oracle(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "exact_oracle",
+        "Thm 4.1 (exact) — E[total steps] identical across schedulers",
+        ["graph", "scheduler", "exact E[total]", "MC mean", "sem", "z"],
+        out["rows"],
+    )
+    for row in out["rows"]:
+        assert abs(row[5]) < 4.5, f"{row[0]}/{row[1]} off the oracle: z={row[5]}"

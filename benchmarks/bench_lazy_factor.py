@@ -1,0 +1,60 @@
+"""Theorem 4.3: lazy IDLA = (2 + o(1)) × non-lazy, for both schedulers.
+
+Laziness wastes exactly half the steps once dispersion times are
+polynomially large; the measured ratio should approach 2 from within a
+(2 ± small) window on every family.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.core import parallel_idla, sequential_idla
+from repro.theory import FAMILIES
+from repro.utils.rng import stable_seed
+
+CASES = [("cycle", 48), ("complete", 128), ("hypercube", 128), ("grid2d", 64)]
+# dispersion times are maxima of heavy-tailed waits; 100 reps keeps the
+# per-cell ratio noise near ±8%
+REPS = 100
+
+
+def _experiment():
+    rows = []
+    for fam_name, n in CASES:
+        g = FAMILIES[fam_name].build(n, seed=stable_seed("lzf-g", fam_name))
+        for proc, driver in (("seq", sequential_idla), ("par", parallel_idla)):
+            fast = np.mean(
+                [
+                    driver(g, 0, seed=stable_seed("lzf-f", fam_name, proc, r)).dispersion_time
+                    for r in range(REPS)
+                ]
+            )
+            slow = np.mean(
+                [
+                    driver(
+                        g, 0, seed=stable_seed("lzf-l", fam_name, proc, r), lazy=True
+                    ).dispersion_time
+                    for r in range(REPS)
+                ]
+            )
+            rows.append(
+                [fam_name, g.n, proc, round(fast, 1), round(slow, 1),
+                 round(slow / fast, 3)]
+            )
+    return {"rows": rows}
+
+
+def bench_lazy_factor(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "lazy_factor",
+        "Thm 4.3 — lazy/non-lazy dispersion ratio (paper: 2 + o(1))",
+        ["family", "n", "process", "E[τ]", "E[τ lazy]", "ratio"],
+        out["rows"],
+    )
+    for row in out["rows"]:
+        assert 1.5 < row[5] < 2.8
+    # average across all cases should be very close to 2
+    mean_ratio = np.mean([row[5] for row in out["rows"]])
+    assert abs(mean_ratio - 2.0) < 0.25

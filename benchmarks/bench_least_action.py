@@ -1,0 +1,83 @@
+"""Proposition A.1: no least-action principle for IDLA.
+
+On the clique-with-a-hair, the modified rule ρ̃ — refuse to settle
+anywhere but the hair tip until ``3 n log n`` steps — makes every particle
+walk *more* yet completes dispersion in ``O(n log n)`` instead of
+``Ω(n²)``: perturbing walks to be longer shortens the dispersion time.
+Benched for both schedulers, plus the generic DelayedRule ablation.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.core import DelayedRule, HairRule, parallel_idla, sequential_idla
+from repro.graphs import clique_with_hair
+from repro.utils.rng import stable_seed
+
+N = 96
+REPS = 60
+
+
+def _experiment():
+    g = clique_with_hair(N)
+    rule = HairRule.for_clique_with_hair(N)
+    rows = []
+    stats = {}
+    for proc, driver in (("seq", sequential_idla), ("par", parallel_idla)):
+        greedy = np.array(
+            [
+                driver(g, 0, seed=stable_seed("la-g", proc, r)).dispersion_time
+                for r in range(REPS)
+            ]
+        )
+        smart = np.array(
+            [
+                driver(g, 0, seed=stable_seed("la-s", proc, r), rule=rule).dispersion_time
+                for r in range(REPS)
+            ]
+        )
+        stats[proc] = (greedy, smart)
+        rows.append(
+            [
+                proc,
+                round(greedy.mean(), 1),
+                round(smart.mean(), 1),
+                round(greedy.mean() / smart.mean(), 2),
+                round(float(np.median(greedy)), 1),
+                round(float(np.median(smart)), 1),
+            ]
+        )
+    # ablation: a *blind* delay rule (delay but no target) must NOT help
+    blind = np.array(
+        [
+            sequential_idla(
+                g, 0, seed=stable_seed("la-b", r), rule=DelayedRule(delay=N)
+            ).dispersion_time
+            for r in range(REPS // 2)
+        ]
+    )
+    return {"rows": rows, "blind_mean": float(blind.mean()), "stats": stats}
+
+
+def bench_least_action(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "least_action",
+        "Prop A.1 — hair rule ρ̃ beats greedy ρ on the hairy clique (n=96)",
+        ["process", "E[τ] greedy ρ", "E[τ] hair ρ̃", "speedup", "median ρ",
+         "median ρ̃"],
+        out["rows"],
+        extra={
+            "blind DelayedRule(n) mean (control, no targeting)": round(
+                out["blind_mean"], 1
+            ),
+            "paper": "ρ̃ gives O(n log n); greedy is Ω(n²) with prob. Ω(1)",
+        },
+    )
+    for row in out["rows"]:
+        assert row[3] > 1.5  # longer walks, shorter dispersion
+    # the hair rule's mean is on the n log n scale, greedy's far above
+    seq_row = out["rows"][0]
+    assert seq_row[2] < 6 * N * np.log(N)
+    assert seq_row[1] > 10 * N

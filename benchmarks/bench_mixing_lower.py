@@ -1,0 +1,62 @@
+"""Proposition 3.9: ``t_seq = Ω(t_mix)``, tight up to log n on the cycle.
+
+The cycle has ``t_mix = Θ(n²)`` and ``t_seq = Θ(n² log n)``: the measured
+ratio ``t_seq / t_mix`` must stay ≥ 1 and grow like log n (the bound is
+tight up to exactly that factor).  The barbell shows the bound is also
+informative on strongly bottlenecked graphs.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.core import sequential_idla
+from repro.graphs import barbell_graph, cycle_graph
+from repro.markov import mixing_time
+from repro.utils.rng import stable_seed
+
+CYCLE_SIZES = [24, 32, 48, 64]
+REPS = 15
+
+
+def _experiment():
+    rows = []
+    ratios = []
+    for n in CYCLE_SIZES:
+        g = cycle_graph(n)
+        tmix = mixing_time(g, lazy=True)
+        lazy = np.mean(
+            [
+                sequential_idla(g, 0, seed=stable_seed("ml", n, r), lazy=True).dispersion_time
+                for r in range(REPS)
+            ]
+        )
+        ratios.append(lazy / tmix)
+        rows.append([g.name, tmix, round(lazy, 1), round(lazy / tmix, 2),
+                     round(np.log(n), 2)])
+    g = barbell_graph(12, 4)
+    tmix = mixing_time(g, lazy=True)
+    lazy = np.mean(
+        [
+            sequential_idla(g, 0, seed=stable_seed("ml-b", r), lazy=True).dispersion_time
+            for r in range(REPS)
+        ]
+    )
+    rows.append([g.name, tmix, round(lazy, 1), round(lazy / tmix, 2), "—"])
+    return {"rows": rows, "cycle_ratios": ratios}
+
+
+def bench_mixing_lower(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "mixing_lower",
+        "Prop 3.9 — lazy t_seq ≥ Ω(t_mix); ratio grows ~log n on the cycle",
+        ["graph", "t_mix (lazy)", "E[τ_seq lazy]", "τ/t_mix", "log n"],
+        out["rows"],
+    )
+    # bound holds on every instance
+    for row in out["rows"]:
+        assert row[3] >= 1.0
+    # tight-up-to-log: the cycle ratio increases along the sweep
+    r = out["cycle_ratios"]
+    assert r[-1] > r[0]

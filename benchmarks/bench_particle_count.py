@@ -1,0 +1,56 @@
+"""§6.2 variant: dispersion time as a function of the particle count m.
+
+The paper's closing remarks conjecture that the parallel dispersion time
+is *maximal when m = n* ("it is conceivable to believe that the parallel
+dispersion time is maximal if the two numbers are equal"): fewer particles
+leave sites unfilled (less work), surplus particles add search power.  We
+sweep ``m/n`` on a torus and a cycle and locate the peak.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.core import parallel_idla
+from repro.graphs import cycle_graph, torus_graph
+from repro.utils.rng import stable_seed
+
+RATIOS = [0.25, 0.5, 1.0, 2.0, 4.0]
+REPS = 30
+
+
+def _experiment():
+    rows = []
+    peaks = {}
+    for g in (torus_graph(8, 8), cycle_graph(48)):
+        n = g.n
+        means = []
+        for ratio in RATIOS:
+            m = max(1, int(round(ratio * n)))
+            d = np.mean(
+                [
+                    parallel_idla(
+                        g, 0, seed=stable_seed("pc", g.name, ratio, r),
+                        num_particles=m,
+                    ).dispersion_time
+                    for r in range(REPS)
+                ]
+            )
+            means.append(d)
+            rows.append([g.name, n, m, round(ratio, 2), round(d, 1)])
+        peaks[g.name] = RATIOS[int(np.argmax(means))]
+    return {"rows": rows, "peaks": peaks}
+
+
+def bench_particle_count(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "particle_count",
+        "§6.2 — E[τ_par] vs particle count m (conjecture: peak at m = n)",
+        ["graph", "n", "m", "m/n", "E[τ_par]"],
+        out["rows"],
+        extra={"peak m/n per graph": out["peaks"]},
+    )
+    # the conjecture: the m = n column dominates both directions
+    for name, peak in out["peaks"].items():
+        assert peak == 1.0, f"{name}: dispersion peaked at m/n={peak}, not 1"

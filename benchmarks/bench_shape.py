@@ -1,0 +1,75 @@
+"""§1.3 / Proposition 5.10's ingredient: the IDLA shape theorem on Z².
+
+The grid lower bound conditions on the aggregate containing a large ball
+(Jerison–Levine–Sheffield eq. (5): ``B(r − a log r) ⊆ A(πr²) ⊆
+B(r + a log r)``).  We grow aggregates at the centre of a large box and
+track in-/out-radius against the perfect-disc radius ``√(k/π)``: the
+sphericity must increase towards 1 and the fluctuation band must stay on
+the ``log r`` scale (far below ``r`` itself).
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.core import aggregate_after, euclidean_shape_stats, grid_coordinates, sequential_idla
+from repro.graphs import grid_graph
+from repro.utils.rng import stable_seed
+
+SIDE = 61
+KS = [100, 300, 600, 1200]
+REPS = 5
+
+
+def _experiment():
+    g = grid_graph(SIDE, SIDE)
+    center = (SIDE // 2) * SIDE + SIDE // 2
+    coords = grid_coordinates(SIDE, SIDE)
+    rows = []
+    spher = []
+    for k in KS:
+        stats = []
+        for r in range(REPS):
+            res = sequential_idla(
+                g, center, seed=stable_seed("shape", k, r), num_particles=k
+            )
+            stats.append(euclidean_shape_stats(aggregate_after(res, k), center, coords))
+        in_r = np.mean([s.in_radius for s in stats])
+        out_r = np.mean([s.out_radius for s in stats])
+        target = stats[0].target_radius
+        fluct = np.mean([s.fluctuation for s in stats])
+        spher.append(in_r / out_r)
+        rows.append(
+            [
+                k,
+                round(target, 2),
+                round(in_r, 2),
+                round(out_r, 2),
+                round(in_r / out_r, 3),
+                round(fluct, 2),
+                round(fluct / np.log(max(target, 2.0)), 2),
+            ]
+        )
+    return {"rows": rows, "sphericity": spher}
+
+
+def bench_shape(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "shape",
+        "§1.3 — LBG/JLS shape theorem: IDLA aggregates on Z² are discs",
+        ["k", "disc radius √(k/π)", "in-radius", "out-radius", "in/out",
+         "fluctuation", "fluct/log r"],
+        out["rows"],
+        extra={"paper": "B(r − a log r) ⊆ A(πr²) ⊆ B(r + a log r) w.h.p."},
+    )
+    s = out["sphericity"]
+    # sphericity high and non-degrading with k
+    assert s[-1] > 0.75
+    assert s[-1] >= s[0] - 0.05
+    for row in out["rows"]:
+        # radius tracks the perfect disc within 20%
+        assert 0.8 < row[3] / row[1] < 1.25
+        # fluctuation band stays on the log scale: a bounded multiple of
+        # log r, far below r
+        assert row[6] < 3.0

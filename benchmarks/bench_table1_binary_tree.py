@@ -1,0 +1,66 @@
+"""Table 1, binary-tree row (Theorem 5.14): ``t_seq, t_par = Θ(n log² n)``.
+
+The binary tree is the paper's "unusually slow" well-known graph: its
+dispersion time carries the full extra log factor over the hitting time
+(``t_hit = Θ(n log n)``), because the last unoccupied cluster hides in a
+deep subtree (Lemma 5.12's imbalance argument).
+"""
+
+from _common import emit, run_once
+from repro.experiments import sweep_dispersion
+from repro.graphs import complete_binary_tree
+from repro.markov import max_hitting_time
+from repro.theory import TABLE1, growth_laws
+
+SIZES = [63, 127, 255, 511]
+REPS = 8
+
+
+def _experiment():
+    sweep = sweep_dispersion("binary_tree", SIZES, reps=REPS, seed=202407)
+    law = TABLE1["binary_tree"].seq  # n log² n
+    rows = []
+    for n in sweep.sizes():
+        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
+        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        thit = max_hitting_time(complete_binary_tree({63: 5, 127: 6, 255: 7, 511: 8}[n]))
+        rows.append(
+            [
+                n,
+                round(seq.dispersion.mean, 1),
+                round(par.dispersion.mean, 1),
+                round(seq.dispersion.mean / law(n), 4),
+                round(par.dispersion.mean / law(n), 4),
+                round(par.dispersion.mean / thit, 3),
+            ]
+        )
+    return {
+        "rows": rows,
+        "seq_fit": sweep.constant_fit("sequential", law),
+        "par_fit": sweep.constant_fit("parallel", law),
+        "nlogn_fit": sweep.constant_fit("parallel", growth_laws()["n log n"]),
+    }
+
+
+def bench_table1_binary_tree(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "table1_binary_tree",
+        "Table 1 / Thm 5.14 — binary tree: Θ(n log² n) = Θ(t_hit · log n)",
+        ["n", "E[τ_seq]", "E[τ_par]", "seq/(n ln² n)", "par/(n ln² n)", "par/t_hit"],
+        out["rows"],
+        extra={
+            "n log² n trend seq": round(out["seq_fit"].trend, 3),
+            "n log² n trend par": round(out["par_fit"].trend, 3),
+            "n log n trend (should exceed the n log² n one)": round(
+                out["nlogn_fit"].trend, 3
+            ),
+        },
+    )
+    assert out["seq_fit"].is_flat and out["par_fit"].is_flat
+    # the extra log over t_hit: par/t_hit must grow with n
+    gaps = [r[5] for r in out["rows"]]
+    assert gaps[-1] > gaps[0]
+    # and n log n alone under-fits relative to n log² n
+    assert out["nlogn_fit"].trend > out["par_fit"].trend

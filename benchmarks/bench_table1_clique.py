@@ -1,0 +1,66 @@
+"""Table 1, complete-graph row + Theorem 5.2.
+
+Paper claims: ``t_seq(K_n) ~ κ_cc n`` (κ_cc ≈ 1.2552, Lemma 5.1) and
+``t_par(K_n) ~ (π²/6) n ≈ 1.6449 n`` — the parallel process is ≈ 31%
+slower.  We sweep n, extract both constants, and cross-check the
+sequential one against the *exact* coupon-collector maximum
+(:func:`repro.bounds.expected_max_geometric_sum`).
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.bounds import KAPPA_CC, PI2_OVER_6, expected_max_geometric_sum
+from repro.experiments import sweep_dispersion
+from repro.theory import TABLE1
+
+SIZES = [128, 256, 512, 1024]
+REPS = 24
+
+
+def _experiment():
+    sweep = sweep_dispersion("complete", SIZES, reps=REPS, seed=202401)
+    rows = []
+    for n in sweep.sizes():
+        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
+        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        exact = expected_max_geometric_sum(n - 1)
+        rows.append(
+            [
+                n,
+                round(seq.dispersion.mean / n, 4),
+                round(exact / n, 4),
+                round(par.dispersion.mean / n, 4),
+                round(par.dispersion.mean / seq.dispersion.mean, 4),
+            ]
+        )
+    seq_fit = sweep.constant_fit("sequential", TABLE1["complete"].seq)
+    par_fit = sweep.constant_fit("parallel", TABLE1["complete"].par)
+    return {"rows": rows, "seq_fit": seq_fit, "par_fit": par_fit}
+
+
+def bench_table1_clique(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "table1_clique",
+        "Table 1 / Thm 5.2 — clique: E[τ_seq]/n -> κ_cc, E[τ_par]/n -> π²/6",
+        ["n", "seq/n", "exact CC/n", "par/n", "par/seq"],
+        out["rows"],
+        extra={
+            "paper κ_cc": round(KAPPA_CC, 4),
+            "paper π²/6": round(PI2_OVER_6, 4),
+            "fitted seq constant (largest n)": round(out["seq_fit"].constant, 4),
+            "fitted par constant (largest n)": round(out["par_fit"].constant, 4),
+            "seq trend (≈0 ⇒ Θ(n))": round(out["seq_fit"].trend, 4),
+            "par trend (≈0 ⇒ Θ(n))": round(out["par_fit"].trend, 4),
+        },
+    )
+    # Shape assertions: linear scaling with the right constants and ordering.
+    assert out["seq_fit"].is_flat and out["par_fit"].is_flat
+    largest = out["rows"][-1]
+    n, seq_c, exact_c, par_c, ratio = largest
+    assert abs(seq_c - exact_c) < 0.12  # matches exact coupon collector
+    assert 1.0 < seq_c < 1.45  # -> κ_cc = 1.2552 (slow convergence from below)
+    assert 1.35 < par_c < 1.95  # -> π²/6 = 1.6449
+    assert ratio > 1.15  # parallel strictly slower (≈1.31 in the limit)

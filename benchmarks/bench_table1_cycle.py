@@ -1,0 +1,66 @@
+"""Table 1, cycle row (Theorem 5.9): ``t_seq, t_par = Θ(n² log n)``.
+
+The cycle also witnesses tightness of the regular-graph worst case
+``O(n² log n)`` of Corollary 3.2.  We fit both the unconstrained power law
+(expect effective exponent ≳ 2) and the constant against n² log n
+(expect a flat trend), and check the Theorem 3.1 envelope dominates.
+"""
+
+from _common import emit, run_once
+from repro.bounds import theorem_3_1_threshold
+from repro.experiments import sweep_dispersion
+from repro.graphs import cycle_graph
+from repro.theory import TABLE1
+
+SIZES = [32, 48, 64, 96, 128]
+REPS = 10
+
+
+def _experiment():
+    sweep = sweep_dispersion("cycle", SIZES, reps=REPS, seed=202403)
+    law = TABLE1["cycle"].seq
+    rows = []
+    for n in sweep.sizes():
+        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
+        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        thr = theorem_3_1_threshold(cycle_graph(n))
+        rows.append(
+            [
+                n,
+                round(seq.dispersion.mean, 1),
+                round(par.dispersion.mean, 1),
+                round(seq.dispersion.mean / law(n), 4),
+                round(par.dispersion.mean / law(n), 4),
+                round(thr, 0),
+            ]
+        )
+    return {
+        "rows": rows,
+        "seq_fit": sweep.constant_fit("sequential", law),
+        "par_fit": sweep.constant_fit("parallel", law),
+        "seq_pow": sweep.power_law("sequential"),
+        "par_pow": sweep.power_law("parallel"),
+    }
+
+
+def bench_table1_cycle(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "table1_cycle",
+        "Table 1 / Thm 5.9 — cycle: Θ(n² log n) for both processes",
+        ["n", "E[τ_seq]", "E[τ_par]", "seq/(n²ln n)", "par/(n²ln n)", "Thm3.1 bound"],
+        out["rows"],
+        extra={
+            "log-log exponent seq": round(out["seq_pow"].exponent, 3),
+            "log-log exponent par": round(out["par_pow"].exponent, 3),
+            "n²log n trend seq (≈0 ⇒ right law)": round(out["seq_fit"].trend, 3),
+            "n²log n trend par": round(out["par_fit"].trend, 3),
+        },
+    )
+    assert 1.8 < out["seq_pow"].exponent < 2.7
+    assert 1.8 < out["par_pow"].exponent < 2.7
+    assert out["seq_fit"].is_flat and out["par_fit"].is_flat
+    # measured mean below the Theorem 3.1 envelope everywhere
+    for row in out["rows"]:
+        assert row[1] <= row[5] and row[2] <= row[5]

@@ -1,0 +1,63 @@
+"""Table 1, expander row (Theorem 5.5): ``t_seq, t_par = Θ(n)``.
+
+Random 6-regular graphs have 1 − λ₂ = Ω(1) w.h.p.; Lemma C.3's set-hitting
+estimate O(n log|S| / ((1−λ₂)|S|)) plugged into Theorem 3.3 gives Θ(n).
+We also record each instance's spectral gap so the linearity can be read
+against it.
+"""
+
+from _common import emit, run_once
+from repro.experiments import sweep_dispersion
+from repro.markov import spectral_gap
+from repro.theory import FAMILIES, TABLE1
+from repro.utils.rng import stable_seed
+
+SIZES = [64, 128, 256, 512]
+REPS = 10
+
+
+def _experiment():
+    sweep = sweep_dispersion("expander", SIZES, reps=REPS, seed=202408)
+    fam = FAMILIES["expander"]
+    rows = []
+    for n in sweep.sizes():
+        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
+        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        g = fam.build(n, seed=stable_seed(202408, "graph", n))
+        gap = spectral_gap(g, lazy=True)
+        rows.append(
+            [
+                n,
+                round(seq.dispersion.mean, 1),
+                round(par.dispersion.mean, 1),
+                round(seq.dispersion.mean / n, 4),
+                round(par.dispersion.mean / n, 4),
+                round(gap, 4),
+            ]
+        )
+    return {
+        "rows": rows,
+        "seq_fit": sweep.constant_fit("sequential", TABLE1["expander"].seq),
+        "par_fit": sweep.constant_fit("parallel", TABLE1["expander"].par),
+        "pow": sweep.power_law("parallel"),
+    }
+
+
+def bench_table1_expander(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "table1_expander",
+        "Table 1 / Thm 5.5 — random 6-regular expanders: Θ(n)",
+        ["n", "E[τ_seq]", "E[τ_par]", "seq/n", "par/n", "lazy gap"],
+        out["rows"],
+        extra={
+            "log-log exponent (par)": round(out["pow"].exponent, 3),
+            "n-law trend seq": round(out["seq_fit"].trend, 3),
+            "n-law trend par": round(out["par_fit"].trend, 3),
+        },
+    )
+    assert 0.8 < out["pow"].exponent < 1.25
+    assert out["seq_fit"].is_flat and out["par_fit"].is_flat
+    # expander hypothesis itself: constant spectral gap across the sweep
+    assert min(r[5] for r in out["rows"]) > 0.03

@@ -1,0 +1,68 @@
+"""Table 1, 2-d grid/torus row (§5.2.2, Open Problem 1).
+
+Paper claims: ``Ω(n log n) ≤ t_seq ≤ t_par = O(n log² n)`` — the only
+family whose dispersion order the paper leaves open (conjectured
+``n log² n``).  We measure the ratio against both candidate laws: the
+``n log n`` ratio should drift *upwards* (it is not the right law) while
+the ``n log² n`` ratio should be near-flat or drifting down.
+"""
+
+from _common import emit, run_once
+from repro.experiments import sweep_dispersion
+from repro.theory import TABLE1, growth_laws
+
+SIZES = [81, 144, 256, 441, 729]
+REPS = 10
+
+
+def _experiment():
+    sweep = sweep_dispersion("torus2d", SIZES, reps=REPS, seed=202404)
+    lo_law = TABLE1["torus2d"].seq  # n log n
+    hi_law = TABLE1["torus2d"].dispersion_upper  # n log² n
+    rows = []
+    for n in sweep.sizes():
+        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
+        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        rows.append(
+            [
+                n,
+                round(seq.dispersion.mean, 1),
+                round(par.dispersion.mean, 1),
+                round(seq.dispersion.mean / lo_law(n), 4),
+                round(seq.dispersion.mean / hi_law(n), 4),
+            ]
+        )
+    return {
+        "rows": rows,
+        "lo_fit": sweep.constant_fit("sequential", lo_law),
+        "hi_fit": sweep.constant_fit("sequential", hi_law),
+        "linear_fit": sweep.constant_fit("sequential", growth_laws()["n"]),
+        "pow": sweep.power_law("sequential"),
+    }
+
+
+def bench_table1_grid2d(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "table1_grid2d",
+        "Table 1 / §5.2.2 — 2-d torus: between Ω(n log n) and O(n log² n)",
+        ["n", "E[τ_seq]", "E[τ_par]", "seq/(n ln n)", "seq/(n ln² n)"],
+        out["rows"],
+        extra={
+            "trend vs n log n": round(out["lo_fit"].trend, 3),
+            "trend vs n log² n": round(out["hi_fit"].trend, 3),
+            "trend vs n (must be clearly positive)": round(
+                out["linear_fit"].trend, 3
+            ),
+            "log-log exponent": round(out["pow"].exponent, 3),
+            "paper": "open problem; conjectured n log² n",
+        },
+    )
+    # super-linear: strictly above Θ(n)
+    assert out["linear_fit"].trend > 0.08
+    # consistent with the bracket: n log² n trend must not be clearly
+    # positive (that law is the proven upper bound)
+    assert out["hi_fit"].trend < 0.12
+    # and n log n should fit no better than n log² n from above
+    assert out["lo_fit"].trend >= out["hi_fit"].trend - 1e-9

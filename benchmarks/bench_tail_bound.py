@@ -1,0 +1,72 @@
+"""Theorem 3.1: ``Pr[τ > 6 t_hit log₂ n] ≤ 1/n²`` and ``t = O(t_hit log n)``.
+
+For each family we compute the exact threshold, run many realisations of
+both processes and count exceedances (expected: none at these n), and
+report the measured-to-bound ratio — the bound is loose by design but must
+always dominate.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.bounds import theorem_3_1_threshold
+from repro.core import parallel_idla, sequential_idla
+from repro.theory import FAMILIES
+from repro.utils.rng import stable_seed
+
+CASES = [
+    ("cycle", 32, 100),
+    ("complete", 64, 100),
+    ("hypercube", 64, 100),
+    ("binary_tree", 63, 80),
+    ("grid2d", 49, 80),
+]
+
+
+def _experiment():
+    rows = []
+    for fam_name, n, reps in CASES:
+        g = FAMILIES[fam_name].build(n, seed=stable_seed("tail-g", fam_name))
+        thr = theorem_3_1_threshold(g)
+        worst = 0.0
+        exceed = 0
+        means = {}
+        for proc, driver in (("seq", sequential_idla), ("par", parallel_idla)):
+            d = np.array(
+                [
+                    driver(g, 0, seed=stable_seed("tail", fam_name, proc, r)).dispersion_time
+                    for r in range(reps)
+                ]
+            )
+            exceed += int((d > thr).sum())
+            worst = max(worst, float(d.max()))
+            means[proc] = float(d.mean())
+        rows.append(
+            [
+                fam_name,
+                g.n,
+                round(thr, 0),
+                round(means["seq"], 1),
+                round(means["par"], 1),
+                round(worst, 0),
+                exceed,
+                round(means["par"] / thr, 4),
+            ]
+        )
+    return {"rows": rows}
+
+
+def bench_tail_bound(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "tail_bound",
+        "Thm 3.1 — exceedances of 6·t_hit·log₂n over 2×reps runs (expect 0)",
+        ["family", "n", "threshold", "E[τ_seq]", "E[τ_par]", "max τ seen",
+         "# exceed", "E[τ_par]/bound"],
+        out["rows"],
+    )
+    for row in out["rows"]:
+        assert row[6] == 0          # no exceedance observed
+        assert row[5] <= row[2]     # even the max stayed below the bound
+        assert row[7] < 1.0         # mean strictly inside

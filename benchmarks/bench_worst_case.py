@@ -1,0 +1,71 @@
+"""Corollary 3.2 + Proposition 5.16 + Theorem 5.9: worst-case envelopes.
+
+General graphs: ``t = O(n³ log n)``, witnessed by the **lollipop** from a
+clique origin (``Ω(n³ log n)``); regular graphs: ``O(n² log n)``,
+witnessed by the **cycle**.  We sweep both witnesses, fit their growth
+against the claimed laws, and verify each stays under its envelope.
+"""
+
+from _common import emit, run_once
+from repro.bounds import general_envelope, regular_envelope
+from repro.experiments import sweep_dispersion
+from repro.theory import TABLE1, growth_laws
+
+LOLLIPOP_SIZES = [16, 24, 32, 48]
+CYCLE_SIZES = [32, 48, 64, 96]
+
+
+def _experiment():
+    lolli = sweep_dispersion(
+        "lollipop", LOLLIPOP_SIZES, reps=6, seed=202409, processes=("sequential",)
+    )
+    cyc = sweep_dispersion(
+        "cycle", CYCLE_SIZES, reps=8, seed=202410, processes=("sequential",)
+    )
+    n3law = TABLE1["lollipop"].seq  # n³ log n
+    n2law = TABLE1["cycle"].seq  # n² log n
+    rows = []
+    for n in lolli.sizes():
+        est = next(p.estimate for p in lolli.points if p.n == n)
+        rows.append(
+            ["lollipop", n, round(est.dispersion.mean, 0),
+             round(est.dispersion.mean / n3law(n), 5),
+             round(general_envelope(n), 0)]
+        )
+    for n in cyc.sizes():
+        est = next(p.estimate for p in cyc.points if p.n == n)
+        rows.append(
+            ["cycle", n, round(est.dispersion.mean, 0),
+             round(est.dispersion.mean / n2law(n), 5),
+             round(regular_envelope(n), 0)]
+        )
+    return {
+        "rows": rows,
+        "lolli_pow": lolli.power_law("sequential"),
+        "cyc_pow": cyc.power_law("sequential"),
+        "lolli_n2_fit": lolli.constant_fit("sequential", growth_laws()["n² log n"]),
+    }
+
+
+def bench_worst_case(benchmark, capsys):
+    out = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "worst_case",
+        "Cor 3.2 — worst cases: lollipop ~ n³ log n, cycle ~ n² log n",
+        ["witness", "n", "E[τ_seq]", "mean/law(n)", "envelope"],
+        out["rows"],
+        extra={
+            "lollipop log-log exponent (expect ≈3+)": round(
+                out["lolli_pow"].exponent, 3
+            ),
+            "cycle log-log exponent (expect ≈2+)": round(out["cyc_pow"].exponent, 3),
+            "lollipop trend vs n²log n (must be positive — it outgrows the "
+            "regular envelope)": round(out["lolli_n2_fit"].trend, 3),
+        },
+    )
+    assert 2.4 < out["lolli_pow"].exponent < 3.6
+    assert 1.8 < out["cyc_pow"].exponent < 2.7
+    assert out["lolli_n2_fit"].trend > 0.3  # strictly super-n²logn
+    for row in out["rows"]:
+        assert row[2] <= row[4]  # below the corollary's envelope

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The clique as a generalised coupon collector (Theorem 5.2).
+
+Sequential-IDLA on K_n *is* the coupon collector: the i-th particle's walk
+is a geometric wait for a vacant vertex.  The dispersion time is the
+longest single wait, ``E[τ_seq]/n → κ_cc ≈ 1.2552`` (Lemma 5.1, with the
+series sign corrected — see repro.bounds.constants).  Parallel-IDLA is
+strictly slower: ``E[τ_par]/n → π²/6 ≈ 1.6449`` — competition between
+unsettled particles stretches the longest trajectory by ≈ 31%.
+
+This example measures both constants and compares them to the exact
+finite-n coupon-collector value.
+
+Run:  python examples/coupon_collector.py
+"""
+
+from __future__ import annotations
+
+from repro.bounds import KAPPA_CC, PI2_OVER_6, expected_max_geometric_sum
+from repro.experiments import estimate_dispersion, render_table
+from repro.graphs import complete_graph
+from repro.utils.rng import stable_seed
+
+
+def main() -> None:
+    sizes = [128, 256, 512, 1024]
+    reps = 40
+    rows = []
+    for n in sizes:
+        g = complete_graph(n)
+        seq = estimate_dispersion(
+            g, "sequential", reps=reps, seed=stable_seed("cc", "seq", n)
+        )
+        par = estimate_dispersion(
+            g, "parallel", reps=reps, seed=stable_seed("cc", "par", n)
+        )
+        exact = expected_max_geometric_sum(n - 1)  # longest wait, n-1 free slots
+        rows.append(
+            [
+                n,
+                f"{seq.dispersion.mean / n:.3f}",
+                f"{exact / n:.3f}",
+                f"{par.dispersion.mean / n:.3f}",
+                f"{par.dispersion.mean / max(seq.dispersion.mean, 1e-12):.3f}",
+            ]
+        )
+    print("Clique dispersion constants (Theorem 5.2):\n")
+    print(
+        render_table(
+            ["n", "E[τ_seq]/n", "exact CC max /n", "E[τ_par]/n", "par/seq"],
+            rows,
+        )
+    )
+    print(f"\npaper limits:  κ_cc = {KAPPA_CC:.4f}   π²/6 = {PI2_OVER_6:.4f}   "
+          f"ratio = {PI2_OVER_6 / KAPPA_CC:.3f} (the ≈30% slowdown of §1.1)")
+
+
+if __name__ == "__main__":
+    main()

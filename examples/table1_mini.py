@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Mini reproduction of the paper's Table 1 at laptop scale.
+
+For each graph family, measures E[τ_seq] and E[τ_par] at a moderate size
+and prints them next to the exact support quantities (hitting time, lazy
+mixing time, Matthews cover bound) and the paper's predicted order.  The
+full sweep + scaling fits live in benchmarks/bench_table1_*.py; this
+example is the 30-second version.
+
+Run:  python examples/table1_mini.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import estimate_dispersion, render_table
+from repro.markov import matthews_upper_bound, max_hitting_time, mixing_time
+from repro.theory import FAMILIES, TABLE1
+from repro.utils.rng import stable_seed
+
+SIZES = {
+    "path": 64,
+    "cycle": 64,
+    "complete": 256,
+    "hypercube": 256,
+    "binary_tree": 127,
+    "grid2d": 144,
+    "torus3d": 125,
+    "expander": 256,
+}
+
+
+def main() -> None:
+    rows = []
+    for fam_name, n in SIZES.items():
+        fam = FAMILIES[fam_name]
+        g = fam.build(n, seed=stable_seed("t1mini", fam_name))
+        origin = fam.worst_origin(g)
+        seq = estimate_dispersion(
+            g, "sequential", origin=origin, reps=10,
+            seed=stable_seed("t1mini", fam_name, "seq"),
+        )
+        par = estimate_dispersion(
+            g, "parallel", origin=origin, reps=10,
+            seed=stable_seed("t1mini", fam_name, "par"),
+        )
+        row = TABLE1[fam_name]
+        rows.append(
+            [
+                fam_name,
+                g.n,
+                f"{max_hitting_time(g):.0f}",
+                mixing_time(g, lazy=True),
+                f"{matthews_upper_bound(g):.0f}",
+                f"{seq.dispersion.mean:.0f}",
+                f"{par.dispersion.mean:.0f}",
+                row.seq.label,
+            ]
+        )
+    print("Table 1 at laptop scale (10 reps each):\n")
+    print(
+        render_table(
+            ["family", "n", "t_hit", "t_mix", "cover≤", "E[τ_seq]", "E[τ_par]", "paper order"],
+            rows,
+        )
+    )
+    print("\nSee benchmarks/bench_table1_*.py for sweeps with scaling fits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so ``pip install -e .`` works in offline environments
+(no ``wheel`` package available for the PEP-660 editable build).
+Metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

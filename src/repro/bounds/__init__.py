@@ -1,0 +1,78 @@
+"""Theoretical bound calculators — one function per theorem/lemma.
+
+=========================  ===========================================
+Function                   Paper statement
+=========================  ===========================================
+``theorem_3_1_threshold``  Pr[τ > 6 t_hit log₂ n] ≤ n⁻²
+``theorem_3_3_bound``      t_par ≤ 60 Σ_j (t_mix + max_S t_hit(π,S))
+``theorem_3_5_bound``      t_seq ≤ 30 max_j j(t_mix + max_S t_hit(π,S))
+``theorem_3_6_bound``      t_seq ≥ 2|E|/Δ
+``theorem_3_7_tree_bound`` trees: t_seq ≥ 2n − 3
+``proposition_3_9_bound``  t_seq = Ω(t_mix)
+``lemma_c2_bound``         t_hit(v,S) ≤ c·n log|S| / ((1−λ₂)|S|)
+``theorem_c4_bound``       t_par ≤ Σ_j (t_mix(1/n⁴) + t^j_hit(π,S))
+``kappa_cc``               Lemma 5.1's κ_cc ≈ 1.2551
+=========================  ===========================================
+"""
+
+from repro.bounds.constants import (
+    KAPPA_CC,
+    KAPPA_P_SIMULATED,
+    PI2_OVER_6,
+    expected_max_geometric_sum,
+    kappa_cc,
+)
+from repro.bounds.lower import (
+    proposition_3_9_bound,
+    proposition_3_9_spectral_bound,
+    theorem_3_6_bound,
+    theorem_3_7_tree_bound,
+    trivial_lower_bound,
+)
+from repro.bounds.sets import (
+    lemma_c2_bound,
+    lemma_c2_polynomial_bound,
+    lemma_c5_hit_probability,
+    multi_walk_set_hitting_time,
+    theorem_c4_bound,
+)
+from repro.bounds.upper import (
+    SetHittingProfile,
+    set_hitting_profile,
+    theorem_3_1_expectation_bound,
+    theorem_3_1_threshold,
+    theorem_3_3_bound,
+    theorem_3_5_bound,
+)
+from repro.bounds.worst_case import (
+    general_envelope,
+    instance_envelope,
+    regular_envelope,
+)
+
+__all__ = [
+    "KAPPA_CC",
+    "KAPPA_P_SIMULATED",
+    "PI2_OVER_6",
+    "kappa_cc",
+    "expected_max_geometric_sum",
+    "theorem_3_1_threshold",
+    "theorem_3_1_expectation_bound",
+    "set_hitting_profile",
+    "SetHittingProfile",
+    "theorem_3_3_bound",
+    "theorem_3_5_bound",
+    "theorem_3_6_bound",
+    "theorem_3_7_tree_bound",
+    "proposition_3_9_bound",
+    "proposition_3_9_spectral_bound",
+    "trivial_lower_bound",
+    "lemma_c2_bound",
+    "lemma_c2_polynomial_bound",
+    "lemma_c5_hit_probability",
+    "multi_walk_set_hitting_time",
+    "theorem_c4_bound",
+    "general_envelope",
+    "regular_envelope",
+    "instance_envelope",
+]

@@ -1,0 +1,170 @@
+"""Appendix C: analytic bounds on hitting times of sets.
+
+* Lemma C.2 (regular graphs): ``t_hit(v, S) ≤ (5/(1-e^{-1})) ·
+  n(1+⌈log|S|⌉) / ((1-λ₂)|S|)``; with polynomial return-probability decay
+  ``p^t_{u,w} ≤ 1/n + C t^{-(1+ε)}`` the sharper
+  ``t_hit(v, S) ≤ (5/(1-e^{-1})) (C+2) n / |S|^{ε/(1+ε)}``.
+* Lemma C.3: the same bounds for almost-regular graphs up to constants.
+* Lemma C.5: the matching-probability lower estimate
+  ``Pr[τ_hit(π, S) ≤ τ] ≥ (τ|S|/n)(1 − (1+o(1))⌈log_{λ₂}(1/|S|)⌉/(τ|S|/n))``.
+* Theorem C.4: a Parallel-IDLA bound assembled from multi-walk set hitting
+  times, estimated by Monte Carlo (the exact product-chain computation is
+  exponential).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.markov.spectral import second_absolute_eigenvalue
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = [
+    "lemma_c2_bound",
+    "lemma_c2_polynomial_bound",
+    "lemma_c5_hit_probability",
+    "multi_walk_set_hitting_time",
+    "theorem_c4_bound",
+]
+
+_C2_PREFACTOR = 5.0 / (1.0 - math.exp(-1.0))
+
+
+def lemma_c2_bound(g: Graph, size: int, *, lazy: bool = True) -> float:
+    """Lemma C.2 / C.3 spectral bound on ``t_hit(v, S)`` for ``|S| = size``.
+
+    Requires an almost-regular graph (warns-by-raising when Δ/δ > 4 since
+    the constant is then uncontrolled).
+    """
+    if not g.is_almost_regular(4.0):
+        raise ValueError(
+            f"{g.name}: Lemma C.2/C.3 needs an almost-regular graph "
+            f"(Δ/δ = {g.max_degree / g.min_degree:.2f})"
+        )
+    if not 1 <= size <= g.n:
+        raise ValueError(f"size must be in [1, {g.n}], got {size}")
+    lam = second_absolute_eigenvalue(g, lazy=lazy)
+    gap = 1.0 - lam
+    if gap <= 0:
+        return math.inf
+    log_s = math.ceil(math.log(size)) if size > 1 else 0
+    return _C2_PREFACTOR * g.n * (1.0 + log_s) / (gap * size)
+
+
+def lemma_c2_polynomial_bound(
+    g: Graph, size: int, C: float, eps: float
+) -> float:
+    """Lemma C.2's second form under ``p^t ≤ 1/n + C t^{-(1+ε)}`` decay.
+
+    The caller asserts the decay hypothesis (it holds e.g. on tori with
+    ``ε = d/2 - 1`` for ``d ≥ 3``, cf. Theorem 5.11's proof).
+    """
+    if C <= 0 or eps <= 0:
+        raise ValueError("C and eps must be positive")
+    if not 1 <= size <= g.n:
+        raise ValueError(f"size must be in [1, {g.n}], got {size}")
+    return _C2_PREFACTOR * (C + 2.0) * g.n / size ** (eps / (1.0 + eps))
+
+
+def lemma_c5_hit_probability(g: Graph, size: int, tau: float) -> float:
+    """Lemma C.5's lower estimate on ``Pr[τ_hit(π, S) ≤ τ]`` (d-regular G).
+
+    Returns ``max(0, (τ|S|/n)(1 − ⌈log_{λ₂}(1/|S|)⌉/(τ|S|/n)))`` — the
+    ``(1+o(1))`` factor set to 1 as the reference value.
+    """
+    if not g.is_regular():
+        raise ValueError(f"{g.name}: Lemma C.5 requires a regular graph")
+    lam = second_absolute_eigenvalue(g, lazy=True)
+    base = tau * size / g.n
+    if base <= 0:
+        return 0.0
+    if lam <= 0 or size <= 1:
+        log_term = 0.0
+    else:
+        log_term = math.ceil(max(0.0, math.log(1.0 / size) / math.log(lam)))
+    return max(0.0, base * (1.0 - log_term / base)) if base else 0.0
+
+
+def multi_walk_set_hitting_time(
+    g: Graph,
+    targets,
+    j: int,
+    reps: int = 64,
+    seed=None,
+    *,
+    lazy: bool = True,
+    from_stationary: bool = True,
+) -> float:
+    """Monte-Carlo estimate of ``t^j_hit(π, S)``: expected time until the
+    *first* of ``j`` independent walks hits ``S``.
+
+    Walk starts are i.i.d. from π (or the worst single vertex if
+    ``from_stationary=False``).  Cost is ``O(reps · j · E[min hit])``.
+    """
+    from repro.markov.stationary import stationary_distribution
+    from repro.walks.engine import WalkEngine
+
+    if j < 1:
+        raise ValueError(f"j must be >= 1, got {j}")
+    mask = np.zeros(g.n, dtype=bool)
+    t_arr = np.asarray(list(targets), dtype=np.int64)
+    mask[t_arr] = True
+    rng = as_generator(seed)
+    pi = stationary_distribution(g)
+    eng = WalkEngine(g, rng)
+    times = np.empty(reps, dtype=np.int64)
+    for r in range(reps):
+        if from_stationary:
+            pos = rng.choice(g.n, size=j, p=pi)
+        else:
+            pos = np.full(j, int(np.argmin(pi)), dtype=np.int64)
+        t = 0
+        while not mask[pos].any():
+            t += 1
+            if lazy:
+                pos = eng.step_lazy(pos)
+            else:
+                pos = eng.step(pos, out=pos)
+        times[r] = t
+    return float(times.mean())
+
+
+def theorem_c4_bound(
+    g: Graph,
+    k: int | None = None,
+    reps: int = 32,
+    seed=None,
+) -> float:
+    """Theorem C.4: ``t_par ≤ Σ_{j=1}^{k} (t_mix(1/n⁴) + t^j_hit(π, S_j))``.
+
+    The theorem quantifies over the *actual* unoccupied sets ``S_j`` (size
+    ``j``); as a computable reference we take the hardest singleton
+    extended greedily (the same heuristic as the Theorem 3.3 evaluator)
+    and estimate ``t^j_hit`` by Monte Carlo.  The result is an order-of-
+    magnitude reference curve, flagged as such in benches.
+    """
+    from repro.markov.mixing import mixing_time_bounds
+    from repro.markov.sets import max_set_hitting_time
+
+    n = g.n
+    if k is None:
+        k = n - 1
+    if not 1 <= k <= n - 1:
+        raise ValueError(f"k must be in [1, {n - 1}], got {k}")
+    # t_mix(1/n^4) via the spectral upper bound (exact TV at that accuracy
+    # is numerically awkward); this keeps the expression an upper estimate.
+    _, tmix_hi = mixing_time_bounds(g, min(0.25, 1.0 / n**4), lazy=True)
+    rngs = spawn_generators(seed, k)
+    total = 0.0
+    for j in range(1, k + 1):
+        _, subset = max_set_hitting_time(
+            g, j, lazy=True, method="greedy"
+        )
+        tj = multi_walk_set_hitting_time(
+            g, subset, j, reps=reps, seed=rngs[j - 1], lazy=True
+        )
+        total += tmix_hi + tj
+    return total

@@ -1,0 +1,150 @@
+"""Upper bounds on dispersion times (Theorems 3.1, 3.3, 3.5).
+
+Each bound is computed from exact Markov-chain quantities of the instance,
+so benches can print "measured vs bound" rows.  Theorems 3.3/3.5 need
+``max_{|S| ≥ s} t_hit(π, S)``; by monotonicity under set inclusion the max
+is attained at ``|S| = s``, and three evaluation strategies are offered
+(exact exhaustive, greedy/sampled heuristics, or the analytic Lemma C.2
+surrogate for regular graphs) — see ``set_profile_method``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bounds.sets import lemma_c2_bound
+from repro.graphs.csr import Graph
+from repro.markov.hitting import max_hitting_time
+from repro.markov.mixing import mixing_time
+from repro.markov.sets import max_set_hitting_time
+
+__all__ = [
+    "theorem_3_1_threshold",
+    "theorem_3_1_expectation_bound",
+    "set_hitting_profile",
+    "theorem_3_3_bound",
+    "theorem_3_5_bound",
+    "SetHittingProfile",
+]
+
+
+def theorem_3_1_threshold(g: Graph, *, lazy: bool = False) -> float:
+    """Theorem 3.1's tail threshold ``6 · t_hit(G) · log₂ n``.
+
+    The theorem asserts ``Pr[τ_par > threshold] ≤ 1/n²`` (same for τ_seq).
+    """
+    n = g.n
+    return 6.0 * max_hitting_time(g, lazy=lazy) * math.log2(max(n, 2))
+
+
+def theorem_3_1_expectation_bound(g: Graph, *, lazy: bool = False) -> float:
+    """Expectation version: ``t_par ≤ threshold / (1 - n⁻²)``.
+
+    From the proof's phase argument: phases of length ``6 t_hit log₂ n``
+    succeed with probability ``1 - n⁻²`` each, so the number of phases is
+    dominated by a geometric with that success probability.
+    """
+    n = g.n
+    thr = theorem_3_1_threshold(g, lazy=lazy)
+    return thr / (1.0 - 1.0 / max(n, 2) ** 2)
+
+
+@dataclass(frozen=True)
+class SetHittingProfile:
+    """Per-phase data for Theorems 3.3/3.5.
+
+    ``sizes[j]`` is the set size ``max(1, ⌈2^{j-2}⌉)`` of phase ``j``
+    (``j = 1..⌈log₂ n⌉``) and ``values[j]`` the corresponding
+    ``max_{|S| = size} t_hit(π, S)`` estimate for the lazy walk.
+    """
+
+    sizes: tuple[int, ...]
+    values: tuple[float, ...]
+    t_mix: float
+    method: str
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.sizes)
+
+
+def _phase_sizes(n: int) -> list[int]:
+    J = max(1, math.ceil(math.log2(n)))
+    return [max(1, min(n, math.ceil(2 ** (j - 2)))) for j in range(1, J + 1)]
+
+
+def set_hitting_profile(
+    g: Graph,
+    *,
+    method: str = "auto",
+    seed=None,
+) -> SetHittingProfile:
+    """Compute the phase profile used by Theorems 3.3 and 3.5.
+
+    Parameters
+    ----------
+    method:
+        ``"exact"`` — exhaustive subset maximisation (tiny graphs only);
+        ``"heuristic"`` — greedy + sampled maximiser (lower-bounds the true
+        max, see :func:`repro.markov.sets.max_set_hitting_time`);
+        ``"lemma-c2"`` — analytic Lemma C.2 upper bound (regular graphs),
+        which keeps the overall expression a genuine upper bound;
+        ``"auto"`` — exact for ``n ≤ 12``, else heuristic.
+    """
+    n = g.n
+    sizes = _phase_sizes(n)
+    tmix = float(mixing_time(g, 0.25, lazy=True))
+    if method == "auto":
+        method = "exact" if n <= 12 else "heuristic"
+    values: list[float] = []
+    for s in sizes:
+        if method == "exact":
+            val, _ = max_set_hitting_time(g, s, lazy=True, method="exhaustive")
+        elif method == "heuristic":
+            val, _ = max_set_hitting_time(
+                g, s, lazy=True, method="both", samples=100, seed=seed
+            )
+        elif method == "lemma-c2":
+            val = lemma_c2_bound(g, s, lazy=True)
+        else:
+            raise ValueError(f"unknown method {method!r}")
+        values.append(float(val))
+    return SetHittingProfile(
+        sizes=tuple(sizes), values=tuple(values), t_mix=tmix, method=method
+    )
+
+
+def theorem_3_3_bound(
+    g: Graph, k: int = 1, *, profile: SetHittingProfile | None = None, **kw
+) -> float:
+    """Theorem 3.3: ``t^k_par(G) ≤ 60 Σ_{j=k}^{⌈log₂ n⌉} (t_mix + max_{|S| ≥ 2^{j-2}} t_hit(π, S))``
+    for the lazy Parallel-IDLA.
+
+    ``k = 1`` gives the full dispersion time; larger ``k`` bounds the time
+    until fewer than ``2^k − 1`` vertices remain unsettled.
+    """
+    if profile is None:
+        profile = set_hitting_profile(g, **kw)
+    J = profile.num_phases
+    if not 1 <= k <= J:
+        raise ValueError(f"k must be in [1, {J}], got {k}")
+    total = sum(profile.t_mix + profile.values[j - 1] for j in range(k, J + 1))
+    return 60.0 * total
+
+
+def theorem_3_5_bound(
+    g: Graph, *, profile: SetHittingProfile | None = None, **kw
+) -> float:
+    """Theorem 3.5: ``t_seq(G) ≤ 30 max_j { j (t_mix + max_{|S| ≥ 2^{j-2}} t_hit(π, S)) }``
+    for the lazy Sequential-IDLA.
+    """
+    if profile is None:
+        profile = set_hitting_profile(g, **kw)
+    best = max(
+        j * (profile.t_mix + profile.values[j - 1])
+        for j in range(1, profile.num_phases + 1)
+    )
+    return 30.0 * best

@@ -1,0 +1,44 @@
+"""Corollary 3.2: worst-case dispersion envelopes over all graphs.
+
+``t_seq, t_par = O(n³ log n)`` in general and ``O(n² log n)`` for regular
+graphs, both following from Theorem 3.1 with Lovász's hitting-time bounds
+[34, Thm 2.1]; the lollipop and cycle are matching witnesses (Prop 5.16 /
+Thm 5.9).  We expose both the reference envelopes (with the explicit
+constants the chain of citations yields) and the per-instance computed
+bound ``6 t_hit(G) log₂ n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.csr import Graph
+from repro.bounds.upper import theorem_3_1_threshold
+
+__all__ = [
+    "general_envelope",
+    "regular_envelope",
+    "instance_envelope",
+]
+
+
+def general_envelope(n: int) -> float:
+    """``(4/27) n³ · 6 log₂ n`` — Theorem 3.1 with the maximum-hitting-time
+    bound ``t_hit ≤ (4/27) n³ (1 + o(1))`` of Brightwell–Winkler (via [34]).
+    """
+    if n < 2:
+        return 0.0
+    return (4.0 / 27.0) * n**3 * 6.0 * math.log2(n)
+
+
+def regular_envelope(n: int) -> float:
+    """``2 n² · 6 log₂ n`` — Theorem 3.1 with ``t_hit ≤ 2 n²`` on regular
+    graphs [34, Corollary 2.2 region]."""
+    if n < 2:
+        return 0.0
+    return 2.0 * n**2 * 6.0 * math.log2(n)
+
+
+def instance_envelope(g: Graph, *, lazy: bool = False) -> float:
+    """The computed Theorem 3.1 bound for a specific instance."""
+    return theorem_3_1_threshold(g, lazy=lazy)

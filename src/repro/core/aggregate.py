@@ -1,0 +1,114 @@
+"""Aggregate growth and shape statistics (§1.3 / Proposition 5.10).
+
+The lower bound for the 2-d grid leans on the Lawler–Bramson–Griffeath
+shape theorem: the IDLA aggregate of ``m`` particles on Z² is a Euclidean
+disc of area ``m`` up to ``O(log r)`` fluctuations (Jerison–Levine–
+Sheffield).  This module reconstructs aggregates from recorded runs and
+measures their sphericity so the ingredient can be checked empirically:
+
+* :func:`aggregate_after` — occupied set after ``k`` settlements;
+* :func:`euclidean_shape_stats` — in/out-radius and fluctuation band of an
+  aggregate around its origin, given vertex coordinates;
+* :func:`grid_coordinates` — coordinate array for ``grid_graph``/
+  ``torus_graph`` vertex ids (row-major layout).
+
+The in-radius is the distance to the nearest *unoccupied* vertex and the
+out-radius the farthest occupied one, matching the paper's
+``B(r - a log r) ⊆ A(πr²) ⊆ B(r + a log r)`` formulation (eq. (5)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import DispersionResult
+
+__all__ = ["aggregate_after", "grid_coordinates", "euclidean_shape_stats", "ShapeStats"]
+
+
+def aggregate_after(result: DispersionResult, k: int) -> np.ndarray:
+    """Occupied vertex set after the first ``k`` settlements.
+
+    Uses ``settle_order``/``settled_at``, so it works for every driver
+    without trajectory recording.
+    """
+    if not 0 <= k <= len(result.settle_order):
+        raise ValueError(f"k must be in [0, {len(result.settle_order)}], got {k}")
+    particles = result.settle_order[:k]
+    return np.sort(result.settled_at[particles])
+
+
+def grid_coordinates(*sides: int) -> np.ndarray:
+    """Coordinates (shape ``(n, d)``) for row-major grid/torus vertex ids."""
+    sides = tuple(int(s) for s in sides)
+    if not sides or any(s < 1 for s in sides):
+        raise ValueError(f"sides must be positive, got {sides}")
+    grids = np.meshgrid(*[np.arange(s) for s in sides], indexing="ij")
+    return np.stack([c.ravel() for c in grids], axis=1).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class ShapeStats:
+    """Sphericity summary of an aggregate around its origin.
+
+    ``in_radius``: distance to the nearest unoccupied vertex (the largest
+    ball contained in the aggregate); ``out_radius``: farthest occupied
+    vertex; ``target_radius``: the disc radius ``sqrt(k / π)`` a perfect
+    LBG aggregate of the same cardinality would have (2-d convention);
+    ``fluctuation = out_radius - in_radius``.
+    """
+
+    size: int
+    in_radius: float
+    out_radius: float
+    target_radius: float
+
+    @property
+    def fluctuation(self) -> float:
+        return self.out_radius - self.in_radius
+
+    @property
+    def sphericity(self) -> float:
+        """in/out ratio in [0, 1]; → 1 under the shape theorem."""
+        return self.in_radius / self.out_radius if self.out_radius > 0 else 1.0
+
+
+def euclidean_shape_stats(
+    aggregate, origin: int, coords: np.ndarray
+) -> ShapeStats:
+    """Measure an aggregate's shape in the Euclidean embedding ``coords``.
+
+    Suitable for box grids (tori would need periodic distances; the bench
+    uses a box large enough that the aggregate never wraps).
+    """
+    agg = np.asarray(list(aggregate), dtype=np.int64)
+    if agg.size == 0:
+        raise ValueError("aggregate must be non-empty")
+    n = coords.shape[0]
+    if agg.min() < 0 or agg.max() >= n:
+        raise ValueError("aggregate contains out-of-range vertices")
+    mask = np.zeros(n, dtype=bool)
+    mask[agg] = True
+    if not mask[origin]:
+        raise ValueError("origin must belong to the aggregate")
+    d = np.linalg.norm(coords - coords[origin], axis=1)
+    out_radius = float(d[mask].max())
+    unocc = ~mask
+    in_radius = float(d[unocc].min()) if unocc.any() else float(d.max())
+    dim = coords.shape[1]
+    if dim == 2:
+        target = float(np.sqrt(agg.size / np.pi))
+    else:
+        # d-dimensional ball volume c_d r^d = k
+        from math import gamma, pi
+
+        c_d = pi ** (dim / 2) / gamma(dim / 2 + 1)
+        target = float((agg.size / c_d) ** (1.0 / dim))
+    return ShapeStats(
+        size=int(agg.size),
+        in_radius=in_radius,
+        out_radius=out_radius,
+        target_radius=target,
+    )

@@ -1,0 +1,216 @@
+"""The paper's coupling algorithms: StP, PtS and PtU_R (Algorithms 1-3).
+
+All three walk a pointer through the block in a fixed reading order and
+apply a Cut & Paste at every first occurrence of a vertex label:
+
+* :func:`sequential_to_parallel` (StP, Algorithm 1) reads in **parallel
+  order** (column-major) and maps ``Seq^m_v -> Par^m_v``;
+* :func:`parallel_to_sequential` (PtS, Algorithm 2) reads in **sequential
+  order** (row-major) and maps ``Par^m_v -> Seq^m_v``;
+* :func:`parallel_to_uniform` (PtU_R, Algorithm 3) reads rows according to
+  a schedule ``R`` (the uniform process's particle choices) and maps
+  ``Par^m_v -> Unif^m_{R,v}``.
+
+Each is a bijection on blocks of fixed total length (Lemma 4.4 /
+Theorem 4.7) and none increases the number of distinct row-content
+multisets — the key quantitative facts (Lemma 4.6: StP cannot shrink the
+longest row) are re-verified in the test-suite and exercised by
+``benchmarks/bench_cut_paste.py``.
+
+Reading-order variants
+----------------------
+Theorem 4.2's proof runs PtS on a row-permuted block ``σ(L)``; both StP
+and PtS accept an optional ``order`` argument (a permutation of the row
+indices, with row 0 — the origin particle — conventionally first) to
+support that construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.blocks import Block
+
+__all__ = [
+    "sequential_to_parallel",
+    "parallel_to_sequential",
+    "parallel_to_uniform",
+    "UniformReadResult",
+]
+
+
+def _resolve_order(block: Block, order) -> list[int]:
+    if order is None:
+        return list(range(block.n))
+    order = [int(i) for i in order]
+    if sorted(order) != list(range(block.n)):
+        raise ValueError("order must be a permutation of all row indices")
+    return order
+
+
+def sequential_to_parallel(block: Block, order=None, *, copy: bool = True) -> Block:
+    """StP (Algorithm 1): transform a sequential block into a parallel block.
+
+    Reads cells column-by-column (rows within a column in ``order``),
+    applying ``CP`` at each first occurrence.  The input must satisfy the
+    sequential property (3); the output satisfies the parallel property
+    (4) with the same total length (Lemma 4.4).
+
+    Parameters
+    ----------
+    order:
+        Optional permutation fixing the row-priority inside each column —
+        the paper's σ-modified StP (§4.1, proof of Theorem 4.2).
+    copy:
+        Work on a copy (default) or mutate ``block`` in place.
+    """
+    L = block.copy() if copy else block
+    rows = L.rows
+    n = L.n
+    perm = _resolve_order(L, order)
+    seen: set[int] = set()
+    t = 0
+    while len(seen) < n:
+        progressed = False
+        for i in perm:
+            row = rows[i]
+            if t >= len(row):
+                continue
+            progressed = True
+            v = row[t]
+            if v not in seen:
+                seen.add(v)
+                L.cut_paste(i, t)
+        if not progressed and len(seen) < n:
+            raise ValueError(
+                "ran out of cells before all vertices were read — "
+                "input is not a valid IDLA block"
+            )
+        t += 1
+    return L
+
+
+def parallel_to_sequential(block: Block, order=None, *, copy: bool = True) -> Block:
+    """PtS (Algorithm 2): transform a parallel block into a sequential block.
+
+    Reads cells row-by-row (rows in ``order``); within a row, scans left to
+    right skipping seen labels and applies ``CP`` at the first unseen one,
+    which ends the row (its tail is pasted elsewhere).  Every row yields
+    exactly one new vertex.
+    """
+    L = block.copy() if copy else block
+    rows = L.rows
+    perm = _resolve_order(L, order)
+    seen: set[int] = set()
+    for i in perm:
+        row = rows[i]
+        t = 0
+        while t < len(row):
+            v = row[t]
+            if v not in seen:
+                seen.add(v)
+                L.cut_paste(i, t)
+                break
+            t += 1
+        else:
+            raise ValueError(
+                f"row {i} contains no unseen vertex — input is not a valid "
+                "parallel block"
+            )
+    return L
+
+
+class UniformReadResult:
+    """Output of :func:`parallel_to_uniform`.
+
+    Attributes
+    ----------
+    block:
+        The transformed (R-uniform) block.
+    read_ticks:
+        ``read_ticks[i][j]`` is the tick at which cell ``(i, j)`` of the
+        *output* block was read; tick 0 reads every ``(i, 0)``.  The
+        uniform process's dispersion-by-ticks is ``max_i read_ticks[i][-1]``.
+    """
+
+    __slots__ = ("block", "read_ticks")
+
+    def __init__(self, block: Block, read_ticks: list[list[int]]):
+        self.block = block
+        self.read_ticks = read_ticks
+
+    @property
+    def settle_ticks(self) -> list[int]:
+        """Tick at which each particle settled."""
+        return [ticks[-1] for ticks in self.read_ticks]
+
+    @property
+    def dispersion_ticks(self) -> int:
+        """Tick of the last settlement (Uniform-IDLA dispersion time)."""
+        return max(self.settle_ticks)
+
+
+def parallel_to_uniform(
+    block: Block, schedule: Sequence[int], *, copy: bool = True
+) -> UniformReadResult:
+    """PtU_R (Algorithm 3): transform a parallel block into an R-uniform block.
+
+    Implements the *head-reading* model that also underlies the paper's
+    continuous-time variant PtU_C (§4.3): each row carries a read head; at
+    tick ``t`` (``t >= 1``) the head of row ``schedule[t-1]`` advances one
+    unread cell (no-op if the row is exhausted); tick 0 reads all cells
+    ``(i, 0)`` in row order, matching the paper's ``T(i, 0) = 0``.  A Cut &
+    Paste fires at each first occurrence; cut tails land in the unread
+    region of their recipient row and are later read on that row's
+    schedule.
+
+    ``schedule`` must be long enough for the reading to finish (i.e. until
+    every row's head reaches its endpoint); a ``ValueError`` is raised
+    otherwise.  Use :func:`repro.core.uniform.sample_schedule` to draw the
+    i.i.d. uniform schedule of the paper's Uniform-IDLA.
+    """
+    L = block.copy() if copy else block
+    rows = L.rows
+    n = L.n
+    seen: set[int] = set()
+    heads = [0] * n
+    read_ticks: list[list[int]] = [[] for _ in range(n)]
+
+    # tick 0: every particle is placed at the origin; cells (i, 0) read in
+    # row order.  Only row 0's origin cell is a first occurrence.
+    for i in range(n):
+        v = rows[i][0]
+        heads[i] = 1
+        read_ticks[i].append(0)
+        if v not in seen:
+            seen.add(v)
+            L.cut_paste(i, 0)
+
+    done = sum(1 for i in range(n) if heads[i] == len(rows[i]))
+    tick = 0
+    for r in schedule:
+        if done == n:
+            break
+        tick += 1
+        i = int(r)
+        if not 0 <= i < n:
+            raise ValueError(f"schedule entry {r} out of range")
+        row = rows[i]
+        h = heads[i]
+        if h >= len(row):
+            continue  # settled particle: wasted tick
+        v = row[h]
+        heads[i] = h + 1
+        read_ticks[i].append(tick)
+        if v not in seen:
+            seen.add(v)
+            L.cut_paste(i, h)
+        if heads[i] == len(rows[i]):
+            done += 1
+    if done != n:
+        raise ValueError(
+            f"schedule exhausted after {tick} ticks with {n - done} rows unread"
+        )
+    return UniformReadResult(L, read_ticks)

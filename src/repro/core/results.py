@@ -1,0 +1,101 @@
+"""Result container shared by every dispersion-process driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.blocks import Block
+
+__all__ = ["DispersionResult"]
+
+
+@dataclass(frozen=True)
+class DispersionResult:
+    """Outcome of one dispersion-process realisation.
+
+    Attributes
+    ----------
+    process:
+        ``"sequential"``, ``"parallel"``, ``"uniform"``, ``"ctu"`` …
+    graph_name, n, origin:
+        Identification of the instance.
+    dispersion_time:
+        The paper's ``τ``: maximum number of steps performed by any
+        particle (an ``int`` for discrete processes; a ``float`` wall-clock
+        for continuous-time ones).
+    total_steps:
+        ``Σ_i steps_i`` — equidistributed across scheduling protocols
+        (Theorem 4.1), making it the key coupling diagnostic.
+    steps:
+        Per-particle jump counts, shape ``(n,)``; ``steps[0] == 0`` (the
+        origin particle settles instantly).
+    settled_at:
+        ``settled_at[i]`` is the vertex where particle ``i`` settled — a
+        permutation of ``V``.
+    settle_order:
+        Particle indices in order of settlement (ties resolved by the
+        process's own rule).
+    ticks:
+        Scheduling-clock duration where it differs from ``dispersion_time``
+        (Uniform-IDLA ticks, CTU continuous time); ``None`` otherwise.
+    trajectories:
+        Full per-particle vertex sequences when the driver was called with
+        ``record=True``; ``None`` otherwise.
+    num_particles:
+        Number of particles ``m`` (§6.2 variant); ``None`` means the
+        classic ``m = n``.  With ``m > n`` (Parallel-IDLA only) the
+        particles that never settle carry ``settled_at = -1``.
+    """
+
+    process: str
+    graph_name: str
+    n: int
+    origin: int
+    dispersion_time: float
+    total_steps: int
+    steps: np.ndarray
+    settled_at: np.ndarray
+    settle_order: np.ndarray
+    ticks: float | None = None
+    trajectories: list[list[int]] | None = field(default=None, repr=False)
+    num_particles: int | None = None
+
+    @property
+    def m(self) -> int:
+        """Particle count (defaults to ``n``)."""
+        return self.n if self.num_particles is None else self.num_particles
+
+    def __post_init__(self):
+        if self.steps.shape != (self.m,):
+            raise ValueError(f"steps must have shape ({self.m},)")
+        if self.settled_at.shape != (self.m,):
+            raise ValueError(f"settled_at must have shape ({self.m},)")
+
+    def block(self) -> Block:
+        """Block representation (requires ``record=True`` at simulation time)."""
+        if self.trajectories is None:
+            raise ValueError(
+                "trajectories were not recorded; rerun the driver with record=True"
+            )
+        return Block(self.trajectories)
+
+    def is_complete_dispersion(self) -> bool:
+        """Settlement is as complete as ``m`` vs ``n`` allows.
+
+        ``m = n``: every vertex settled exactly once.  ``m < n``: all ``m``
+        particles settled, at distinct vertices.  ``m > n``: every vertex
+        occupied; exactly ``n`` particles settled.
+        """
+        settled = self.settled_at[self.settled_at >= 0]
+        expected = min(self.m, self.n)
+        return settled.size == expected and np.unique(settled).size == expected
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.process} IDLA on {self.graph_name} (n={self.n}, origin="
+            f"{self.origin}): dispersion={self.dispersion_time:g}, "
+            f"total_steps={self.total_steps}"
+        )

@@ -1,0 +1,102 @@
+"""Scaling-law fits: the quantitative backbone of the Table 1 benches.
+
+Asymptotic claims ``τ(n) = Θ(f(n))`` are checked two ways:
+
+* :func:`fit_power_law` — unconstrained log–log regression returning the
+  empirical exponent (e.g. cycle dispersion should fit ``n^{≈2+}``);
+* :func:`fit_constant` — regress measured values against a *given* growth
+  law ``f``: the estimated constant is ``mean(y/f(n))`` and the *trend*
+  (slope of ``log(y/f)`` vs ``log n``) should be ≈ 0 when ``f`` is the
+  right law.  This is how κ_cc, π²/6 and κ_p are extracted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.theory.table1 import GrowthLaw
+
+__all__ = ["PowerLawFit", "ConstantFit", "fit_power_law", "fit_constant"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ≈ exp(intercept) · n^exponent`` with log-space R²."""
+
+    exponent: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, n) -> np.ndarray:
+        return np.exp(self.intercept) * np.asarray(n, dtype=np.float64) ** self.exponent
+
+
+@dataclass(frozen=True)
+class ConstantFit:
+    """``y ≈ constant · f(n)``; ``trend`` ≈ 0 means the law matches."""
+
+    law: str
+    constant: float
+    trend: float
+    ratios: tuple[float, ...]
+
+    @property
+    def is_flat(self) -> bool:
+        """Heuristic flatness check used by tests (|trend| < 0.35)."""
+        return abs(self.trend) < 0.35
+
+
+def _check_xy(ns, ys) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(ns, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("ns and ys must be 1-D arrays of equal length")
+    if x.size < 2:
+        raise ValueError("need at least two points to fit")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("fits are in log space; values must be positive")
+    return x, y
+
+
+def fit_power_law(ns, ys) -> PowerLawFit:
+    """Least-squares fit of ``log y = a log n + b``.
+
+    >>> f = fit_power_law([10, 100, 1000], [1e2, 1e4, 1e6])
+    >>> round(f.exponent, 6)
+    2.0
+    """
+    x, y = _check_xy(ns, ys)
+    lx, ly = np.log(x), np.log(y)
+    A = np.vstack([lx, np.ones_like(lx)]).T
+    (a, b), res, *_ = np.linalg.lstsq(A, ly, rcond=None)
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    ss_res = float(res[0]) if res.size else float(((ly - A @ [a, b]) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(exponent=float(a), intercept=float(b), r_squared=r2)
+
+
+def fit_constant(ns, ys, law: GrowthLaw) -> ConstantFit:
+    """Estimate the leading constant of ``y = c · law(n)`` and its trend.
+
+    ``constant`` is the ratio at the *largest* n (closest to asymptopia);
+    ``trend`` is the slope of ``log(ratio)`` vs ``log(n)`` — zero iff the
+    law captures the growth exactly.
+    """
+    x, y = _check_xy(ns, ys)
+    f = np.asarray([law(v) for v in x], dtype=np.float64)
+    if np.any(f <= 0):
+        raise ValueError(f"growth law {law.label!r} is non-positive on the data")
+    ratios = y / f
+    lx = np.log(x)
+    lr = np.log(ratios)
+    A = np.vstack([lx, np.ones_like(lx)]).T
+    (slope, _), *_ = np.linalg.lstsq(A, lr, rcond=None)
+    order = np.argsort(x)
+    return ConstantFit(
+        law=law.label,
+        constant=float(ratios[order[-1]]),
+        trend=float(slope),
+        ratios=tuple(float(r) for r in ratios[order]),
+    )

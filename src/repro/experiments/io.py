@@ -1,0 +1,42 @@
+"""JSON persistence for experiment outputs (NumPy-aware)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["to_jsonable", "save_json", "load_json"]
+
+
+def to_jsonable(obj):
+    """Recursively convert dataclasses / NumPy values to JSON-safe types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot serialise {type(obj).__name__}")
+
+
+def save_json(path, obj) -> None:
+    """Write ``obj`` (after :func:`to_jsonable`) to ``path``."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(to_jsonable(obj), indent=2, sort_keys=True))
+
+
+def load_json(path):
+    """Read a JSON file written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())

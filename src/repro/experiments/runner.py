@@ -1,0 +1,129 @@
+"""Monte-Carlo execution: repeated dispersion runs with independent seeds.
+
+The runner is the single entry point benches and examples use to estimate
+``E[τ]``.  Repetitions receive independent child generators via
+``SeedSequence.spawn`` (never a shared stream), so results are identical
+whether repetitions run serially or across worker processes.  Worker-based
+parallelism uses ``concurrent.futures.ProcessPoolExecutor`` (the guides'
+recommended fan-out when mpi4py is unavailable); the default is serial
+because individual runs are already NumPy-wide.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.continuous import continuous_sequential_idla, ctu_idla
+from repro.core.parallel import parallel_idla
+from repro.core.results import DispersionResult
+from repro.core.sequential import sequential_idla
+from repro.core.uniform import uniform_idla
+from repro.experiments.stats import SummaryStats, summarize
+from repro.graphs.csr import Graph
+from repro.utils.rng import spawn_generators, stable_seed
+
+__all__ = ["PROCESS_DRIVERS", "run_process", "DispersionEstimate", "estimate_dispersion"]
+
+#: Name -> driver mapping used throughout benches and examples.
+PROCESS_DRIVERS: dict[str, Callable[..., DispersionResult]] = {
+    "sequential": sequential_idla,
+    "parallel": parallel_idla,
+    "uniform": uniform_idla,
+    "ctu": ctu_idla,
+    "c-sequential": continuous_sequential_idla,
+}
+
+
+def run_process(
+    process: str, g: Graph, origin: int = 0, seed=None, **kwargs
+) -> DispersionResult:
+    """Run a named process once (thin dispatcher over the drivers)."""
+    try:
+        driver = PROCESS_DRIVERS[process]
+    except KeyError:
+        raise KeyError(
+            f"unknown process {process!r}; available: {sorted(PROCESS_DRIVERS)}"
+        ) from None
+    return driver(g, origin, seed=seed, **kwargs)
+
+
+@dataclass(frozen=True)
+class DispersionEstimate:
+    """Samples + summary for one (graph, process, origin) configuration."""
+
+    process: str
+    graph_name: str
+    n: int
+    origin: int
+    dispersion: SummaryStats
+    total_steps: SummaryStats
+    samples: np.ndarray
+    total_samples: np.ndarray
+
+    def format(self) -> str:
+        return (
+            f"{self.process:>12} on {self.graph_name:<16} "
+            f"E[τ] = {self.dispersion.format()}"
+        )
+
+
+def _one_run(args) -> tuple[float, int]:
+    process, g, origin, seed, kwargs = args
+    res = run_process(process, g, origin, seed=seed, **kwargs)
+    return float(res.dispersion_time), int(res.total_steps)
+
+
+def estimate_dispersion(
+    g: Graph,
+    process: str = "sequential",
+    *,
+    origin: int = 0,
+    reps: int = 16,
+    seed=None,
+    n_jobs: int = 1,
+    **kwargs,
+) -> DispersionEstimate:
+    """Estimate ``E[τ]`` over ``reps`` independent realisations.
+
+    Parameters
+    ----------
+    n_jobs:
+        ``1`` (default) runs serially; ``> 1`` fans repetitions out over a
+        process pool.  Seeds are spawned identically in both modes.
+    kwargs:
+        Forwarded to the driver (``lazy=True``, ``rule=…``, …).
+
+    Examples
+    --------
+    >>> from repro.graphs import complete_graph
+    >>> est = estimate_dispersion(complete_graph(32), "parallel", reps=4, seed=0)
+    >>> est.dispersion.n
+    4
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    seeds = spawn_generators(
+        seed if seed is not None else stable_seed(g.name, process, origin), reps
+    )
+    jobs = [(process, g, origin, s, kwargs) for s in seeds]
+    if n_jobs > 1:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            outcomes = list(pool.map(_one_run, jobs))
+    else:
+        outcomes = [_one_run(j) for j in jobs]
+    disp = np.asarray([o[0] for o in outcomes])
+    tot = np.asarray([o[1] for o in outcomes], dtype=np.int64)
+    return DispersionEstimate(
+        process=process,
+        graph_name=g.name,
+        n=g.n,
+        origin=origin,
+        dispersion=summarize(disp),
+        total_steps=summarize(tot),
+        samples=disp,
+        total_samples=tot,
+    )

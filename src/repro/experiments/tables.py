@@ -1,0 +1,44 @@
+"""Minimal ASCII table renderer for bench output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(v) -> str:
+    """Format a cell: floats get 4 significant digits, rest via str()."""
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "nan"
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table (also valid GitHub markdown).
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    | a | b   |
+    |---|-----|
+    | 1 | 2.5 |
+    """
+    rows = [[format_value(c) for c in r] for r in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        if len(r) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    def line(cells):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    out = [line(headers), sep]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)

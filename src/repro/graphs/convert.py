@@ -1,0 +1,48 @@
+"""Conversion between :class:`repro.graphs.Graph` and networkx.
+
+networkx is an *optional* dependency used only here and in the test suite,
+where it serves as an independent oracle for structural checks.  Import is
+deferred so the core library has no hard networkx requirement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(g: Graph):
+    """Convert to a ``networkx.Graph`` (multi-edges collapse; no loops exist
+    in paper families, and loop slots are dropped with a warning-free skip).
+    """
+    import networkx as nx
+
+    out = nx.Graph()
+    out.add_nodes_from(range(g.n))
+    out.add_edges_from((u, v) for u, v in g.edges() if u != v)
+    return out
+
+
+def from_networkx(nxg, *, name: str | None = None) -> Graph:
+    """Convert a ``networkx.Graph`` with hashable nodes to a CSR graph.
+
+    Nodes are relabelled ``0..n-1`` in sorted order when sortable, else in
+    insertion order.  Self-loops are rejected (see the CSR convention).
+    """
+    nodes = list(nxg.nodes())
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    index = {v: i for i, v in enumerate(nodes)}
+    edges = []
+    for u, v in nxg.edges():
+        if u == v:
+            raise ValueError("self-loops are not supported; remove them first")
+        edges.append((index[u], index[v]))
+    return Graph.from_edges(
+        len(nodes), edges, name=name or getattr(nxg, "name", "") or "from-networkx"
+    )

@@ -1,0 +1,70 @@
+"""Graph generators for every family appearing in the paper.
+
+======================  =============================================
+Generator               Paper reference
+======================  =============================================
+``path_graph``          Theorem 5.4 (κ_p n² log n)
+``cycle_graph``         Theorem 5.9 (Θ(n² log n))
+``complete_graph``      Theorem 5.2 (κ_cc n vs π²/6 n)
+``star_graph``          Theorem 3.7 tightness remark
+``complete_binary_tree``Theorem 5.14 (Θ(n log² n))
+``binary_tree_with_path`` Proposition 3.8 (t_hit ≫ t_seq gap)
+``grid_graph``          §5.2.2 grids
+``torus_graph``         §5.2.2 tori
+``hypercube_graph``     Theorem 5.7 (Θ(n))
+``lollipop_graph``      Proposition 5.16 (Ω(n³ log n))
+``clique_with_hair``    Propositions 2.1 & A.1
+``clique_with_hair_on_pimple``  Proposition 2.1 (G₂)
+``random_regular_graph``Theorem 5.5 expanders
+``erdos_renyi_graph``   Remark 5.6
+``comb_graph``/``double_star``/``barbell_graph``  auxiliary stress tests
+======================  =============================================
+"""
+
+from repro.graphs.generators.basic import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.generators.composite import (
+    barbell_graph,
+    clique_with_hair,
+    clique_with_hair_on_pimple,
+    lollipop_connector,
+    lollipop_graph,
+)
+from repro.graphs.generators.grids import grid_graph, hypercube_graph, torus_graph
+from repro.graphs.generators.random import (
+    erdos_renyi_graph,
+    largest_component,
+    random_regular_graph,
+)
+from repro.graphs.generators.trees import (
+    binary_tree_with_path,
+    comb_graph,
+    complete_binary_tree,
+    double_star,
+)
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "complete_binary_tree",
+    "binary_tree_with_path",
+    "comb_graph",
+    "double_star",
+    "grid_graph",
+    "torus_graph",
+    "hypercube_graph",
+    "lollipop_graph",
+    "lollipop_connector",
+    "clique_with_hair",
+    "clique_with_hair_on_pimple",
+    "barbell_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "largest_component",
+]

@@ -1,0 +1,127 @@
+"""Composite/counterexample graphs: lollipops and "hairy" cliques.
+
+Paper references
+----------------
+* Proposition 5.16: the **lollipop** (clique ⌈n/2⌉ + path ⌊n/2⌋) witnesses
+  the general worst case ``t_seq = Ω(n³ log n)`` of Corollary 3.2.
+* Proposition 2.1: the **clique with a hair** (G₁) and the **clique with a
+  hair on a pimple** (G₂) show the dispersion time need not concentrate.
+* Proposition A.1: the clique with a hair also violates a least-action
+  principle under a modified settling rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.generators.basic import complete_graph
+
+__all__ = [
+    "lollipop_graph",
+    "lollipop_connector",
+    "clique_with_hair",
+    "clique_with_hair_on_pimple",
+    "barbell_graph",
+]
+
+
+def lollipop_graph(n: int) -> Graph:
+    """Lollipop on ``n`` vertices: ``⌈n/2⌉``-clique + path of ``⌊n/2⌋`` vertices.
+
+    Vertices ``0 .. ⌈n/2⌉-1`` form the clique; the path hangs off clique
+    vertex ``⌈n/2⌉-1`` (the paper's connector ``v``).  The far path endpoint
+    is vertex ``n - 1``.
+
+    Proposition 5.16: started from a clique vertex other than the
+    connector, ``τ_seq = Ω(n³ log n)`` w.h.p.
+
+    >>> g = lollipop_graph(10)
+    >>> g.n, g.num_edges
+    (10, 15)
+    """
+    if n < 4:
+        raise ValueError(f"lollipop needs n >= 4, got {n}")
+    k = (n + 1) // 2  # clique size ⌈n/2⌉
+    edges = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    prev = k - 1  # connector vertex inside the clique
+    for v in range(k, n):
+        edges.append((prev, v))
+        prev = v
+    return Graph.from_edges(n, edges, name=f"lollipop-{n}")
+
+
+def lollipop_connector(n: int) -> int:
+    """Index of the clique vertex adjoining the path in :func:`lollipop_graph`."""
+    return (n + 1) // 2 - 1
+
+
+def clique_with_hair(n: int) -> Graph:
+    """Proposition 2.1's G₁: ``K_{n-1}`` plus a pendant vertex ("hair tip").
+
+    Total ``n`` vertices: ``0 .. n-2`` form the clique, and the hair tip
+    ``n - 1`` attaches to clique vertex ``0`` (the paper's ``v``).  Started
+    from ``v``, the dispersion time is ``O(n)`` with probability
+    ``≈ 1 − 1/e`` but ``Ω(n²)`` with probability ``≈ 1/e``.
+
+    >>> clique_with_hair(5).degree(4)
+    1
+    """
+    if n < 4:
+        raise ValueError(f"clique_with_hair needs n >= 4, got {n}")
+    k = n - 1
+    edges = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    edges.append((0, n - 1))
+    return Graph.from_edges(n, edges, name=f"hairy-clique-{n}")
+
+
+def clique_with_hair_on_pimple(n: int, pimple_size: int | None = None) -> Graph:
+    """Proposition 2.1's G₂: an edge ``{v, v*}`` attached at ``v`` to
+    ``h - 1`` vertices of a clique.
+
+    Construction (following the paper's proof): a clique ``K_{n-2}`` on
+    vertices ``0 .. n-3``; vertex ``v = n-2`` is adjacent to the first
+    ``h - 1`` clique vertices (the "pimple" attachment) and to the hair tip
+    ``v* = n-1``.  With ``h = n / log n`` (default) the expected dispersion
+    time from ``v`` is ``Θ(n)`` yet ``Pr[D ≥ Ω(n²)] = Ω(1/n)``.
+
+    >>> g = clique_with_hair_on_pimple(32)
+    >>> g.degree(31)
+    1
+    """
+    if n < 8:
+        raise ValueError(f"clique_with_hair_on_pimple needs n >= 8, got {n}")
+    if pimple_size is None:
+        pimple_size = max(2, int(round(n / np.log(n))))
+    h = int(pimple_size)
+    if not 2 <= h <= n - 2:
+        raise ValueError(f"pimple_size must be in [2, n-2], got {h}")
+    kn = n - 2  # clique size
+    v, vstar = n - 2, n - 1
+    edges = [(i, j) for i in range(kn) for j in range(i + 1, kn)]
+    edges.extend((v, u) for u in range(h - 1))
+    edges.append((v, vstar))
+    return Graph.from_edges(n, edges, name=f"pimple-clique-{n}-h{h}")
+
+
+def barbell_graph(clique_size: int, path_len: int) -> Graph:
+    """Two cliques joined by a path — a classic slow-mixing testbed.
+
+    Vertices ``0 .. k-1``: first clique; ``k .. k+p-1``: path;
+    ``k+p .. 2k+p-1``: second clique.  Exercises the mixing-time lower
+    bound of Proposition 3.9 on a non-vertex-transitive graph.
+
+    >>> barbell_graph(4, 2).n
+    10
+    """
+    k, p = int(clique_size), int(path_len)
+    if k < 3:
+        raise ValueError(f"clique_size must be >= 3, got {k}")
+    if p < 0:
+        raise ValueError(f"path_len must be >= 0, got {p}")
+    n = 2 * k + p
+    edges = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    edges += [(k + p + i, k + p + j) for i in range(k) for j in range(i + 1, k)]
+    chain = [k - 1] + [k + t for t in range(p)] + [k + p]
+    edges += list(zip(chain[:-1], chain[1:]))
+    return Graph.from_edges(n, edges, name=f"barbell-{k}-{p}")

@@ -1,0 +1,120 @@
+"""Lattice families: d-dimensional grids, tori and the hypercube.
+
+Paper references
+----------------
+* §5.2.2: 2-d grid/torus has ``t_seq, t_par ∈ [Ω(n log n), O(n log² n)]``
+  (Open Problem 1); for ``d ≥ 3`` both are ``Θ(n)`` (Theorem 5.11).
+* Theorem 5.7: the hypercube has ``Θ(n)`` dispersion time.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+
+__all__ = ["grid_graph", "torus_graph", "hypercube_graph"]
+
+
+def _mixed_radix_strides(sides: tuple[int, ...]) -> np.ndarray:
+    """Row-major strides so vertex id = sum(coord[k] * stride[k])."""
+    strides = np.ones(len(sides), dtype=np.int64)
+    for k in range(len(sides) - 2, -1, -1):
+        strides[k] = strides[k + 1] * sides[k + 1]
+    return strides
+
+
+def _validate_sides(sides) -> tuple[int, ...]:
+    sides = tuple(int(s) for s in sides)
+    if not sides:
+        raise ValueError("sides must be non-empty")
+    if any(s < 1 for s in sides):
+        raise ValueError(f"all sides must be >= 1, got {sides}")
+    return sides
+
+
+def grid_graph(*sides: int) -> Graph:
+    """Finite d-dimensional box grid with the given side lengths.
+
+    ``grid_graph(5, 5)`` is the paper's finite 2-d box; vertex ids are
+    row-major.  Boundary vertices have smaller degree (the graph is
+    almost-regular for fixed d).
+
+    >>> grid_graph(2, 3).num_edges
+    7
+    """
+    sides = _validate_sides(sides)
+    strides = _mixed_radix_strides(sides)
+    n = int(np.prod(sides))
+    edges: list[tuple[int, int]] = []
+    # Vectorised per-axis edge construction: for axis k connect each vertex
+    # with coordinate < side-1 to its +1 neighbour.
+    coords = np.stack(
+        np.meshgrid(*[np.arange(s, dtype=np.int64) for s in sides], indexing="ij"),
+        axis=-1,
+    ).reshape(n, len(sides))
+    ids = coords @ strides
+    for k, s in enumerate(sides):
+        if s < 2:
+            continue
+        mask = coords[:, k] < s - 1
+        u = ids[mask]
+        v = u + strides[k]
+        edges.extend(zip(u.tolist(), v.tolist()))
+    label = "x".join(str(s) for s in sides)
+    return Graph.from_edges(n, edges, name=f"grid-{label}")
+
+
+def torus_graph(*sides: int) -> Graph:
+    """d-dimensional torus (grid with wrap-around edges).
+
+    Sides of length 1 contribute nothing; sides of length 2 would create a
+    parallel edge from wrap-around and are rejected to keep the family
+    simple (use ``grid_graph`` or a hypercube for side-2 boxes).
+
+    >>> torus_graph(4, 4).is_regular()
+    True
+    """
+    sides = _validate_sides(sides)
+    if any(s == 2 for s in sides):
+        raise ValueError("torus sides must be 1 or >= 3 (side 2 duplicates edges)")
+    strides = _mixed_radix_strides(sides)
+    n = int(np.prod(sides))
+    coords = np.stack(
+        np.meshgrid(*[np.arange(s, dtype=np.int64) for s in sides], indexing="ij"),
+        axis=-1,
+    ).reshape(n, len(sides))
+    ids = coords @ strides
+    edges: list[tuple[int, int]] = []
+    for k, s in enumerate(sides):
+        if s < 3:
+            continue
+        nxt = coords.copy()
+        nxt[:, k] = (nxt[:, k] + 1) % s
+        v = nxt @ strides
+        edges.extend(zip(ids.tolist(), v.tolist()))
+    label = "x".join(str(s) for s in sides)
+    return Graph.from_edges(n, edges, name=f"torus-{label}")
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """Boolean hypercube ``{0,1}^dim`` with ``n = 2^dim`` vertices.
+
+    Vertex ids are bit masks; ``u ~ v`` iff they differ in exactly one bit.
+    The paper writes ``H_n`` with ``n = 2^k`` vertices (Theorem 5.7).
+
+    >>> hypercube_graph(3).degrees.tolist() == [3] * 8
+    True
+    """
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    n = 1 << dim
+    ids = np.arange(n, dtype=np.int64)
+    edges: list[tuple[int, int]] = []
+    for b in range(dim):
+        bit = 1 << b
+        u = ids[(ids & bit) == 0]
+        edges.extend(zip(u.tolist(), (u | bit).tolist()))
+    return Graph.from_edges(n, edges, name=f"hypercube-{dim}")

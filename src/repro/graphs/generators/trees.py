@@ -1,0 +1,128 @@
+"""Tree families: complete binary trees and the paper's counterexample trees.
+
+Paper references
+----------------
+* §5.2.3 / Theorem 5.14: the complete binary tree has dispersion time
+  ``Θ(n log² n)``.
+* Proposition 3.8: a complete binary tree with a path of length
+  ``n^{1/2 - ε}`` glued to the root separates hitting time
+  (``Ω(n^{3/2-ε})``) from sequential dispersion time (``O(n log² n)``).
+* §1.3 / combs appear in related work; a comb generator is provided for
+  exploratory experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.csr import Graph
+
+__all__ = [
+    "complete_binary_tree",
+    "binary_tree_with_path",
+    "comb_graph",
+    "double_star",
+]
+
+
+def complete_binary_tree(height: int) -> Graph:
+    """Complete binary tree of the given height (root = vertex 0).
+
+    The tree has ``n = 2^(height+1) - 1`` vertices in heap order: children
+    of ``i`` are ``2i + 1`` and ``2i + 2``.  Height 0 is a single vertex.
+
+    >>> complete_binary_tree(2).n
+    7
+    """
+    if height < 0:
+        raise ValueError(f"height must be >= 0, got {height}")
+    n = (1 << (height + 1)) - 1
+    edges = []
+    for i in range(n):
+        left, right = 2 * i + 1, 2 * i + 2
+        if left < n:
+            edges.append((i, left))
+        if right < n:
+            edges.append((i, right))
+    return Graph.from_edges(max(n, 1), edges, name=f"btree-h{height}")
+
+
+def binary_tree_with_path(height: int, path_len: int | None = None) -> Graph:
+    """Proposition 3.8 counterexample: binary tree + path hanging off the root.
+
+    A complete binary tree with ``n_t = 2^(height+1) - 1`` nodes, with a
+    path of ``path_len`` extra vertices attached to the root at one
+    endpoint.  Default ``path_len`` is ``floor(n_t^{1/2 - 1/8})``, matching
+    the paper's ``n^{1/2-ε}`` with ``ε = 1/8``.
+
+    Layout: vertices ``0 .. n_t - 1`` are the tree in heap order; vertices
+    ``n_t .. n_t + path_len - 1`` are the path, attached at the root 0.
+
+    >>> g = binary_tree_with_path(2, path_len=3)
+    >>> g.n
+    10
+    """
+    tree = complete_binary_tree(height)
+    n_t = tree.n
+    if path_len is None:
+        path_len = max(1, int(math.floor(n_t ** (0.5 - 0.125))))
+    if path_len < 0:
+        raise ValueError(f"path_len must be >= 0, got {path_len}")
+    n = n_t + path_len
+    edges = list(tree.edges())
+    prev = 0
+    for k in range(path_len):
+        edges.append((prev, n_t + k))
+        prev = n_t + k
+    return Graph.from_edges(n, edges, name=f"btree-h{height}+path{path_len}")
+
+
+def comb_graph(teeth: int, tooth_len: int) -> Graph:
+    """Comb: a spine path with a path ("tooth") hanging from every vertex.
+
+    ``teeth`` spine vertices ``0 .. teeth-1``; tooth ``i`` consists of
+    ``tooth_len`` vertices hanging below spine vertex ``i``.  Total
+    ``n = teeth (1 + tooth_len)``.  Combs appear in the IDLA shape-theorem
+    literature cited in §1.3 and exercise the bounded-degree tree bounds.
+
+    >>> comb_graph(3, 2).n
+    9
+    """
+    if teeth < 1:
+        raise ValueError(f"teeth must be >= 1, got {teeth}")
+    if tooth_len < 0:
+        raise ValueError(f"tooth_len must be >= 0, got {tooth_len}")
+    n = teeth * (1 + tooth_len)
+    edges = [(i, i + 1) for i in range(teeth - 1)]
+    next_free = teeth
+    for i in range(teeth):
+        prev = i
+        for _ in range(tooth_len):
+            edges.append((prev, next_free))
+            prev = next_free
+            next_free += 1
+    return Graph.from_edges(n, edges, name=f"comb-{teeth}x{tooth_len}")
+
+
+def double_star(left_leaves: int, right_leaves: int) -> Graph:
+    """Two star centres joined by an edge.
+
+    Vertices: 0 and 1 are the centres; ``left_leaves`` leaves hang off 0 and
+    ``right_leaves`` off 1.  A classic tree stressing Theorem 3.6's
+    ``Ω(|E|/Δ)`` lower bound in the highly irregular regime.
+
+    >>> double_star(2, 3).n
+    7
+    """
+    if left_leaves < 0 or right_leaves < 0:
+        raise ValueError("leaf counts must be >= 0")
+    n = 2 + left_leaves + right_leaves
+    edges = [(0, 1)]
+    v = 2
+    for _ in range(left_leaves):
+        edges.append((0, v))
+        v += 1
+    for _ in range(right_leaves):
+        edges.append((1, v))
+        v += 1
+    return Graph.from_edges(n, edges, name=f"dstar-{left_leaves}-{right_leaves}")

@@ -1,0 +1,69 @@
+"""Structural graph properties needed by the bound calculators.
+
+These are deterministic, exact computations (BFS-based); spectral and
+Markov-chain quantities live in :mod:`repro.markov`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+
+__all__ = [
+    "bfs_distances",
+    "diameter",
+    "eccentricity",
+    "is_tree",
+    "degree_histogram",
+    "leaves",
+]
+
+
+def bfs_distances(g: Graph, source: int) -> np.ndarray:
+    """Hop distances from ``source`` to every vertex (-1 if unreachable)."""
+    n = g.n
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        d += 1
+        nxt_parts = [g.indices[g.indptr[u] : g.indptr[u + 1]] for u in frontier]
+        nxt = np.unique(np.concatenate(nxt_parts)) if nxt_parts else np.array([], dtype=np.int64)
+        nxt = nxt[dist[nxt] == -1]
+        dist[nxt] = d
+        frontier = nxt
+    return dist
+
+
+def eccentricity(g: Graph, v: int) -> int:
+    """Maximum hop distance from ``v`` (graph must be connected)."""
+    dist = bfs_distances(g, v)
+    if np.any(dist < 0):
+        raise ValueError("graph is disconnected; eccentricity undefined")
+    return int(dist.max())
+
+
+def diameter(g: Graph) -> int:
+    """Exact diameter via n BFS passes (fine for the sizes we exercise)."""
+    best = 0
+    for v in range(g.n):
+        best = max(best, eccentricity(g, v))
+    return best
+
+
+def is_tree(g: Graph) -> bool:
+    """Connected and ``m = n - 1`` (loop-free assumed, as in all families)."""
+    return g.num_edges == g.n - 1 and g.is_connected()
+
+
+def degree_histogram(g: Graph) -> dict[int, int]:
+    """Map degree -> vertex count."""
+    vals, counts = np.unique(g.degrees, return_counts=True)
+    return {int(v): int(c) for v, c in zip(vals, counts)}
+
+
+def leaves(g: Graph) -> np.ndarray:
+    """Indices of degree-1 vertices (the paper's Theorem 3.7 targets)."""
+    return np.flatnonzero(g.degrees == 1)

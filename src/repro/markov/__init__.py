@@ -1,0 +1,109 @@
+"""Markov-chain substrate: transition matrices, spectra, hitting and mixing.
+
+Everything here is *exact* (up to linear-algebra precision): simulation-based
+estimators live in :mod:`repro.walks.empirical` so the two can be compared.
+"""
+
+from repro.markov.cover import (
+    harmonic_number,
+    matthews_lower_bound,
+    matthews_upper_bound,
+)
+from repro.markov.exact_idla import (
+    SequentialExact,
+    analyze_sequential_idla,
+    exact_expected_sequential_dispersion,
+    sequential_dispersion_cdf,
+)
+from repro.markov.exact_parallel import ParallelExact, analyze_parallel_idla
+from repro.markov.hitting import (
+    commute_time,
+    hitting_time,
+    hitting_time_matrix,
+    hitting_times_to_target,
+    max_hitting_time,
+)
+from repro.markov.mixing import (
+    mixing_time,
+    mixing_time_bounds,
+    total_variation_distance,
+    worst_case_tv,
+)
+from repro.markov.resistance import (
+    commute_time_from_resistance,
+    effective_resistance,
+    effective_resistance_matrix,
+    laplacian,
+)
+from repro.markov.returns import (
+    expected_visits,
+    lemma_c1_bound,
+    return_probabilities,
+    step_distributions,
+)
+from repro.markov.sets import (
+    max_set_hitting_time,
+    set_hitting_time_from,
+    set_hitting_times,
+    stationary_set_hitting_time,
+)
+from repro.markov.spectral import (
+    conductance_cheeger_bounds,
+    relaxation_time,
+    second_absolute_eigenvalue,
+    second_eigenvalue,
+    spectral_gap,
+    walk_eigenvalues,
+)
+from repro.markov.stationary import stationary_distribution, stationary_from_matrix
+from repro.markov.transition import (
+    laziness_matrix,
+    lazy_transition_matrix,
+    sparse_transition_matrix,
+    transition_matrix,
+)
+
+__all__ = [
+    "transition_matrix",
+    "lazy_transition_matrix",
+    "sparse_transition_matrix",
+    "laziness_matrix",
+    "stationary_distribution",
+    "stationary_from_matrix",
+    "walk_eigenvalues",
+    "second_eigenvalue",
+    "second_absolute_eigenvalue",
+    "spectral_gap",
+    "relaxation_time",
+    "conductance_cheeger_bounds",
+    "hitting_times_to_target",
+    "hitting_time",
+    "hitting_time_matrix",
+    "max_hitting_time",
+    "commute_time",
+    "set_hitting_times",
+    "set_hitting_time_from",
+    "stationary_set_hitting_time",
+    "max_set_hitting_time",
+    "total_variation_distance",
+    "worst_case_tv",
+    "mixing_time",
+    "mixing_time_bounds",
+    "laplacian",
+    "effective_resistance",
+    "effective_resistance_matrix",
+    "commute_time_from_resistance",
+    "harmonic_number",
+    "matthews_upper_bound",
+    "matthews_lower_bound",
+    "analyze_sequential_idla",
+    "SequentialExact",
+    "sequential_dispersion_cdf",
+    "exact_expected_sequential_dispersion",
+    "analyze_parallel_idla",
+    "ParallelExact",
+    "step_distributions",
+    "return_probabilities",
+    "expected_visits",
+    "lemma_c1_bound",
+]

@@ -1,0 +1,120 @@
+"""Mixing times: exact total-variation computation and spectral bounds.
+
+The paper works with the lazy walk's mixing time ``t_mix = t_mix(1/4)``
+(worst-case start).  We provide:
+
+* :func:`total_variation_distance` — TV between two distributions.
+* :func:`worst_case_tv` — ``d(t) = max_u ||P^t(u,·) − π||_TV``.
+* :func:`mixing_time` — exact smallest ``t`` with ``d(t) ≤ ε`` (computed by
+  doubling + bisection on ``t`` with an eigendecomposition so each probe is
+  one ``O(n³)`` reconstruction, not ``t`` matrix powers).
+* :func:`mixing_time_bounds` — the classic relaxation-time sandwich
+  ``(t_rel − 1) log(1/2ε) ≤ t_mix(ε) ≤ t_rel log(1/(ε π_min))``
+  [LPW Thms 12.4/12.5], used by Proposition 3.9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.markov.spectral import relaxation_time
+from repro.markov.stationary import stationary_distribution
+from repro.markov.transition import lazy_transition_matrix, transition_matrix
+
+__all__ = [
+    "total_variation_distance",
+    "worst_case_tv",
+    "mixing_time",
+    "mixing_time_bounds",
+]
+
+
+def total_variation_distance(p, q) -> float:
+    """``||p - q||_TV = (1/2) Σ |p_i - q_i|``."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have equal length")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+class _SpectralPropagator:
+    """Reconstruct ``P^t`` for arbitrary ``t`` from one eigendecomposition.
+
+    For the reversible walk, ``P = D^{-1/2} S D^{1/2}`` with ``S = UΛUᵀ``
+    symmetric, hence ``P^t = D^{-1/2} U Λ^t Uᵀ D^{1/2}`` — each probe of a
+    new ``t`` costs one dense multiply instead of ``t`` of them.
+    """
+
+    def __init__(self, g: Graph, *, lazy: bool):
+        P = lazy_transition_matrix(g) if lazy else transition_matrix(g)
+        deg = g.degrees.astype(np.float64)
+        self._d_sqrt = np.sqrt(deg)
+        S = P * (self._d_sqrt[:, None] / self._d_sqrt[None, :])
+        S = 0.5 * (S + S.T)
+        self._evals, self._evecs = np.linalg.eigh(S)
+        self._pi = stationary_distribution(g)
+
+    def worst_tv(self, t: int) -> float:
+        lam_t = np.sign(self._evals) ** (t % 2) * np.abs(self._evals) ** t
+        # Guard 0^0 = 1 and underflow of tiny |λ|^t.
+        lam_t = np.where(np.abs(self._evals) == 0.0, float(t == 0), lam_t)
+        M = (self._evecs * lam_t[None, :]) @ self._evecs.T
+        Pt = M * (self._d_sqrt[None, :] / self._d_sqrt[:, None])
+        diffs = np.abs(Pt - self._pi[None, :]).sum(axis=1)
+        return 0.5 * float(diffs.max())
+
+
+def worst_case_tv(g: Graph, t: int, *, lazy: bool = True) -> float:
+    """``d(t) = max_u ||P^t(u,·) − π||_TV`` for the (lazy) walk."""
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    return _SpectralPropagator(g, lazy=lazy).worst_tv(t)
+
+
+def mixing_time(
+    g: Graph, eps: float = 0.25, *, lazy: bool = True, t_max: int = 10_000_000
+) -> int:
+    """Exact ``t_mix(ε) = min{t : d(t) ≤ ε}`` of the (lazy) walk.
+
+    Uses doubling to bracket then bisection (``d(t)`` is non-increasing).
+    Raises if the chain has not mixed by ``t_max`` (periodic non-lazy
+    chains on bipartite graphs never mix — use ``lazy=True`` there).
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    prop = _SpectralPropagator(g, lazy=lazy)
+    if prop.worst_tv(0) <= eps:
+        return 0
+    hi = 1
+    while prop.worst_tv(hi) > eps:
+        hi *= 2
+        if hi > t_max:
+            raise RuntimeError(
+                f"chain not mixed to eps={eps} within t_max={t_max} steps "
+                "(periodic chain? pass lazy=True)"
+            )
+    lo = hi // 2  # d(lo) > eps, d(hi) <= eps
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if prop.worst_tv(mid) <= eps:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def mixing_time_bounds(g: Graph, eps: float = 0.25, *, lazy: bool = True) -> tuple[float, float]:
+    """Relaxation-time sandwich ``(lower, upper)`` on ``t_mix(ε)``.
+
+    ``lower = (t_rel - 1) · log(1/(2ε))`` and
+    ``upper = t_rel · log(1/(ε π_min))`` [LPW Theorems 12.5, 12.4].
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    trel = relaxation_time(g, lazy=lazy)
+    pi_min = float(stationary_distribution(g).min())
+    lower = max(0.0, (trel - 1.0) * np.log(1.0 / (2.0 * eps)))
+    upper = trel * np.log(1.0 / (eps * pi_min))
+    return lower, upper

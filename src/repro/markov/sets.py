@@ -1,0 +1,181 @@
+"""Hitting times of *sets* — the quantity driving Theorems 3.3 and 3.5.
+
+``t_hit(μ, S)`` is the expected time for a walk started from distribution
+``μ`` to reach any vertex of ``S``.  Exact values come from one linear
+solve on the complement of ``S``.  The theorems additionally need
+
+    ``max_{S ⊆ V, |S| ≥ k} t_hit(π, S)``
+
+whose exact computation is exponential in general; we provide
+
+* an **exhaustive** maximiser for small instances (used in tests),
+* a **greedy** heuristic (grow S by the vertex that keeps ``t_hit(π, S)``
+  largest) for bound evaluation, and
+* a **sampled** lower bound from random subsets.
+
+Because ``t_hit(π, ·)`` is monotone decreasing under set inclusion,
+``max_{|S| ≥ k}`` is attained at ``|S| = k`` exactly — all maximisers fix
+the size to ``k``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.markov.stationary import stationary_distribution
+from repro.markov.transition import lazy_transition_matrix, transition_matrix
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "set_hitting_times",
+    "set_hitting_time_from",
+    "stationary_set_hitting_time",
+    "max_set_hitting_time",
+]
+
+
+def set_hitting_times(g: Graph, targets, *, lazy: bool = False) -> np.ndarray:
+    """Vector of ``E[time to reach the set]`` from every start vertex.
+
+    ``h[v] = 0`` for ``v`` in the target set.
+
+    >>> from repro.graphs import cycle_graph
+    >>> h = set_hitting_times(cycle_graph(6), [0, 3])
+    >>> float(h[1])  # one step either way: gambler's ruin on 0-1-2-3
+    2.0
+    """
+    n = g.n
+    S = np.zeros(n, dtype=bool)
+    t = np.asarray(list(targets), dtype=np.int64)
+    if t.size == 0:
+        raise ValueError("target set must be non-empty")
+    if t.min() < 0 or t.max() >= n:
+        raise ValueError("target set contains out-of-range vertices")
+    S[t] = True
+    if S.all():
+        return np.zeros(n)
+    P = lazy_transition_matrix(g) if lazy else transition_matrix(g)
+    keep = ~S
+    Q = P[np.ix_(keep, keep)]
+    A = np.eye(int(keep.sum())) - Q
+    h_sub = np.linalg.solve(A, np.ones(A.shape[0]))
+    h = np.zeros(n)
+    h[keep] = h_sub
+    return h
+
+
+def set_hitting_time_from(g: Graph, mu, targets, *, lazy: bool = False) -> float:
+    """``t_hit(μ, S)`` for a start distribution or a single start vertex."""
+    h = set_hitting_times(g, targets, lazy=lazy)
+    if np.isscalar(mu) or isinstance(mu, (int, np.integer)):
+        return float(h[int(mu)])
+    mu = np.asarray(mu, dtype=np.float64)
+    if mu.shape != (g.n,):
+        raise ValueError(f"mu must be a scalar vertex or a length-{g.n} vector")
+    return float(mu @ h)
+
+
+def stationary_set_hitting_time(g: Graph, targets, *, lazy: bool = False) -> float:
+    """``t_hit(π, S)`` — start from stationarity (the theorems' quantity)."""
+    pi = stationary_distribution(g)
+    return set_hitting_time_from(g, pi, targets, lazy=lazy)
+
+
+def _greedy_max_set(g: Graph, size: int, *, lazy: bool) -> tuple[float, np.ndarray]:
+    """Grow S one vertex at a time, keeping t_hit(π, S) as large as possible.
+
+    ``t_hit(π, S)`` is maximised by *clustered* sets (a spread-out S is
+    easy to hit from stationarity — verified exhaustively in the tests:
+    on C₈ the adjacent pair scores 7.0 vs 2.5 for the antipodal pair).
+    The greedy therefore seeds with the hardest singleton and repeatedly
+    adds the unchosen vertex *closest to S in hitting-time metric*, i.e.
+    ``argmin_{v∉S} t_hit(v, S)``, which keeps the set a tight ball around
+    the hardest region.  Cost: one linear solve per added vertex.
+    """
+    pi = stationary_distribution(g)
+    from repro.markov.hitting import hitting_time_matrix
+
+    H = hitting_time_matrix(g, lazy=lazy)
+    t_pi_single = pi @ H  # t_hit(π, {v}) for every v
+    chosen = [int(np.argmax(t_pi_single))]
+    while len(chosen) < size:
+        h = set_hitting_times(g, chosen, lazy=lazy)
+        masked = h.copy()
+        masked[chosen] = np.inf
+        chosen.append(int(np.argmin(masked)))
+    value = stationary_set_hitting_time(g, chosen, lazy=lazy)
+    return value, np.asarray(sorted(chosen), dtype=np.int64)
+
+
+def max_set_hitting_time(
+    g: Graph,
+    size: int,
+    *,
+    lazy: bool = False,
+    method: str = "auto",
+    samples: int = 200,
+    seed=None,
+) -> tuple[float, np.ndarray]:
+    """Approximate/exact ``max_{|S| = size} t_hit(π, S)``.
+
+    Parameters
+    ----------
+    method:
+        ``"exhaustive"`` enumerates all subsets (only for tiny instances),
+        ``"greedy"`` uses the clustering heuristic, ``"sample"`` takes the
+        best of ``samples`` random subsets, ``"auto"`` picks exhaustive when
+        ``C(n, size) <= 20000`` else the max of greedy and sampled.
+
+    Returns
+    -------
+    (value, subset): the best value found and the achieving subset.
+
+    Notes
+    -----
+    Greedy/sampled values are lower bounds on the true maximum; the bound
+    calculators in :mod:`repro.bounds.sets` treat them as such (they make
+    the *upper* bounds of Theorems 3.3/3.5 smaller, i.e. the comparison
+    against measured dispersion time remains meaningful because the paper's
+    inequality is checked with the exact quantity on small graphs in the
+    test-suite and with the analytic Lemma C.2 surrogate in benches).
+    """
+    n = g.n
+    if not 1 <= size <= n:
+        raise ValueError(f"size must be in [1, {n}], got {size}")
+
+    def n_choose_k(nn: int, kk: int) -> float:
+        from math import comb
+
+        return comb(nn, kk)
+
+    if method == "auto":
+        method = "exhaustive" if n_choose_k(n, size) <= 20_000 else "both"
+
+    best_val = -np.inf
+    best_set: np.ndarray | None = None
+
+    if method == "exhaustive":
+        for combo in itertools.combinations(range(n), size):
+            val = stationary_set_hitting_time(g, combo, lazy=lazy)
+            if val > best_val:
+                best_val, best_set = val, np.asarray(combo, dtype=np.int64)
+        assert best_set is not None
+        return best_val, best_set
+
+    if method in ("greedy", "both"):
+        val, subset = _greedy_max_set(g, size, lazy=lazy)
+        if val > best_val:
+            best_val, best_set = val, subset
+    if method in ("sample", "both"):
+        rng = as_generator(seed)
+        for _ in range(samples):
+            subset = rng.choice(n, size=size, replace=False)
+            val = stationary_set_hitting_time(g, subset, lazy=lazy)
+            if val > best_val:
+                best_val, best_set = val, np.sort(subset)
+    if best_set is None:
+        raise ValueError(f"unknown method {method!r}")
+    return float(best_val), best_set

@@ -1,0 +1,95 @@
+"""Spectral quantities of the walk: eigenvalues, gaps, relaxation time.
+
+The paper defines an *expander* as a graph with ``1 - λ₂ = Ω(1)`` where
+``λ₂`` is the second largest (absolute) eigenvalue of the walk (§5.2.1),
+and uses ``λ₂`` of the lazy walk in Proposition 3.9 and Appendix C.
+
+For a reversible chain, ``P = D^{-1/2} S D^{1/2}`` with ``S`` symmetric, so
+all eigenvalues are real and computable with the symmetric eigensolver —
+both faster and numerically safer than a general solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.markov.transition import lazy_transition_matrix, transition_matrix
+
+__all__ = [
+    "walk_eigenvalues",
+    "second_eigenvalue",
+    "second_absolute_eigenvalue",
+    "spectral_gap",
+    "relaxation_time",
+    "conductance_cheeger_bounds",
+]
+
+
+def _symmetrised_eigenvalues(P: np.ndarray, deg: np.ndarray) -> np.ndarray:
+    """Eigenvalues of a reversible ``P`` via its symmetric conjugate."""
+    d_sqrt = np.sqrt(deg.astype(np.float64))
+    S = P * (d_sqrt[:, None] / d_sqrt[None, :])
+    # Guard against tiny asymmetries from floating point.
+    S = 0.5 * (S + S.T)
+    return np.linalg.eigvalsh(S)  # ascending order
+
+
+def walk_eigenvalues(g: Graph, *, lazy: bool = False) -> np.ndarray:
+    """All eigenvalues of the (lazy) walk matrix, ascending.
+
+    >>> import numpy as np
+    >>> from repro.graphs import complete_graph
+    >>> ev = walk_eigenvalues(complete_graph(4))
+    >>> np.allclose(ev, [-1/3, -1/3, -1/3, 1.0])
+    True
+    """
+    P = lazy_transition_matrix(g) if lazy else transition_matrix(g)
+    return _symmetrised_eigenvalues(P, g.degrees)
+
+
+def second_eigenvalue(g: Graph, *, lazy: bool = False) -> float:
+    """Second largest eigenvalue λ₂ (signed)."""
+    ev = walk_eigenvalues(g, lazy=lazy)
+    return float(ev[-2])
+
+
+def second_absolute_eigenvalue(g: Graph, *, lazy: bool = False) -> float:
+    """λ* — the largest absolute value among non-principal eigenvalues.
+
+    The paper's expander condition is ``1 - λ₂ = Ω(1)`` with λ₂ "the second
+    largest absolute eigenvalue" (§5.2.1); for lazy walks all eigenvalues
+    are non-negative, so λ* = λ₂.
+    """
+    ev = walk_eigenvalues(g, lazy=lazy)
+    return float(max(abs(ev[0]), abs(ev[-2])))
+
+
+def spectral_gap(g: Graph, *, lazy: bool = True, absolute: bool = True) -> float:
+    """``1 - λ`` where λ is λ* (default) or the signed λ₂."""
+    lam = (
+        second_absolute_eigenvalue(g, lazy=lazy)
+        if absolute
+        else second_eigenvalue(g, lazy=lazy)
+    )
+    return 1.0 - lam
+
+
+def relaxation_time(g: Graph, *, lazy: bool = True) -> float:
+    """``t_rel = 1 / (1 - λ*)`` of the (lazy) walk."""
+    gap = spectral_gap(g, lazy=lazy, absolute=True)
+    if gap <= 0:
+        raise ValueError("chain has zero spectral gap (disconnected or periodic)")
+    return 1.0 / gap
+
+
+def conductance_cheeger_bounds(g: Graph) -> tuple[float, float]:
+    """Cheeger bounds ``gap/2 <= Φ <= sqrt(2 gap)`` for the lazy walk.
+
+    Computing conductance exactly is NP-hard; Proposition 3.9 only uses it
+    through Cheeger's inequality [LPW Thm 13.14], so the bracket is what the
+    bound calculators need.  Returns ``(lower, upper)`` for Φ.
+    """
+    gap = spectral_gap(g, lazy=True, absolute=False)
+    gap = max(gap, 0.0)
+    return gap / 2.0, float(np.sqrt(2.0 * gap))

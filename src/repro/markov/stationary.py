@@ -1,0 +1,45 @@
+"""Stationary distributions.
+
+For a random walk on an undirected graph the stationary distribution is
+``π(v) = deg(v) / (2m)`` in slot terms (multi-edges/loop slots included) —
+we expose both the closed form and an iterative solver usable as a
+cross-check and for general row-stochastic matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+
+__all__ = ["stationary_distribution", "stationary_from_matrix"]
+
+
+def stationary_distribution(g: Graph) -> np.ndarray:
+    """Exact stationary distribution ``π ∝ walk-degree``."""
+    deg = g.degrees.astype(np.float64)
+    total = deg.sum()
+    if total == 0:
+        raise ValueError("graph has no edges")
+    return deg / total
+
+
+def stationary_from_matrix(
+    P: np.ndarray, *, tol: float = 1e-12, max_iter: int = 200_000
+) -> np.ndarray:
+    """Stationary distribution of a row-stochastic matrix via the null space.
+
+    Solves ``π (P - I) = 0`` with the normalisation ``Σ π = 1`` as a dense
+    least-squares system — exact up to numerical precision and robust to
+    periodic chains (unlike power iteration).  ``tol``/``max_iter`` are kept
+    for signature stability; the direct solve ignores them.
+    """
+    n = P.shape[0]
+    if P.shape != (n, n):
+        raise ValueError("P must be square")
+    A = np.vstack([P.T - np.eye(n), np.ones((1, n))])
+    b = np.zeros(n + 1)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+    pi = np.clip(pi, 0.0, None)
+    return pi / pi.sum()

@@ -1,0 +1,15 @@
+"""Theory layer: Table 1 growth-law predictions and family registry."""
+
+from repro.theory.families import FAMILIES, Family, get_family
+from repro.theory.table1 import TABLE1, GrowthLaw, Table1Row, growth_laws, table1_row
+
+__all__ = [
+    "FAMILIES",
+    "Family",
+    "get_family",
+    "TABLE1",
+    "GrowthLaw",
+    "Table1Row",
+    "growth_laws",
+    "table1_row",
+]

@@ -1,0 +1,145 @@
+"""Registry of Table 1 graph families.
+
+Sweeps are parameterised by a *target* vertex count ``n``; families whose
+natural parameter is not ``n`` (hypercube dimension, tree height, torus
+side) snap to the nearest realisable size.  Each entry provides:
+
+``make(n, seed) -> Graph``
+    Build an instance with size snapped as above (``seed`` only used by
+    random families).
+``snap(n) -> int``
+    The realised vertex count for a requested ``n``.
+``worst_origin(g) -> int``
+    The origin used for worst-case dispersion measurements (e.g. the path
+    endpoint; a clique vertex away from the lollipop's connector — the
+    configurations the paper's lower bounds are stated for).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.graphs.csr import Graph
+from repro.graphs.generators import (
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    torus_graph,
+)
+
+__all__ = ["Family", "FAMILIES", "get_family"]
+
+
+@dataclass(frozen=True)
+class Family:
+    """A named graph family with size snapping and a worst-case origin."""
+
+    name: str
+    make: Callable[..., Graph]
+    snap: Callable[[int], int]
+    worst_origin: Callable[[Graph], int] = field(default=lambda g: 0)
+    is_random: bool = False
+
+    def build(self, n: int, seed=None) -> Graph:
+        """Construct an instance of snapped size for requested ``n``."""
+        if self.is_random:
+            return self.make(n, seed)
+        return self.make(n)
+
+
+def _snap_identity(n: int) -> int:
+    return max(3, n)
+
+
+def _snap_pow2(n: int) -> int:
+    return 1 << max(1, round(math.log2(max(2, n))))
+
+
+def _snap_btree(n: int) -> int:
+    h = max(1, round(math.log2(max(3, n) + 1)) - 1)
+    return (1 << (h + 1)) - 1
+
+
+def _snap_square(n: int) -> int:
+    side = max(2, round(math.sqrt(max(4, n))))
+    return side * side
+
+
+def _snap_square_torus(n: int) -> int:
+    side = max(3, round(math.sqrt(max(9, n))))
+    return side * side
+
+
+def _snap_cube(n: int) -> int:
+    side = max(3, round(max(27, n) ** (1.0 / 3.0)))
+    return side**3
+
+
+def _make_hypercube(n: int) -> Graph:
+    dim = max(1, round(math.log2(max(2, n))))
+    return hypercube_graph(dim)
+
+
+def _make_btree(n: int) -> Graph:
+    h = max(1, round(math.log2(max(3, n) + 1)) - 1)
+    return complete_binary_tree(h)
+
+
+def _make_grid2d(n: int) -> Graph:
+    side = max(2, round(math.sqrt(max(4, n))))
+    return grid_graph(side, side)
+
+
+def _make_torus2d(n: int) -> Graph:
+    side = max(3, round(math.sqrt(max(9, n))))
+    return torus_graph(side, side)
+
+
+def _make_torus3d(n: int) -> Graph:
+    side = max(3, round(max(27, n) ** (1.0 / 3.0)))
+    return torus_graph(side, side, side)
+
+
+def _make_expander(n: int, seed=None) -> Graph:
+    n = max(8, n + (n % 2))  # even n for d = 6 regular
+    return random_regular_graph(n, 6, seed=seed)
+
+
+def _lollipop_origin(g: Graph) -> int:
+    # Proposition 5.16: start in the clique but not at the connector.
+    return 0
+
+
+FAMILIES: dict[str, Family] = {
+    "path": Family("path", path_graph, _snap_identity),
+    "cycle": Family("cycle", cycle_graph, _snap_identity),
+    "complete": Family("complete", complete_graph, _snap_identity),
+    "hypercube": Family("hypercube", _make_hypercube, _snap_pow2),
+    "binary_tree": Family("binary_tree", _make_btree, _snap_btree),
+    "grid2d": Family("grid2d", _make_grid2d, _snap_square),
+    "torus2d": Family("torus2d", _make_torus2d, _snap_square_torus),
+    "torus3d": Family("torus3d", _make_torus3d, _snap_cube),
+    "expander": Family(
+        "expander", _make_expander, lambda n: max(8, n + (n % 2)), is_random=True
+    ),
+    "lollipop": Family(
+        "lollipop", lollipop_graph, lambda n: max(4, n), _lollipop_origin
+    ),
+}
+
+
+def get_family(name: str) -> Family:
+    """Look up a family by name with a helpful error."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown family {name!r}; available: {sorted(FAMILIES)}"
+        ) from None

@@ -1,0 +1,108 @@
+"""Table 1's predicted asymptotic orders, as evaluable growth laws.
+
+Every cell of the paper's Table 1 is encoded as a named function of ``n``
+so the benchmark harness can (i) fit measured values against the predicted
+law and report the quality of fit, and (ii) print "paper order vs measured
+constant" rows for EXPERIMENTS.md.  A ``GrowthLaw`` carries no leading
+constant — constants are what the fits estimate (κ_cc, π²/6, κ_p …).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bounds.constants import KAPPA_CC, KAPPA_P_SIMULATED, PI2_OVER_6
+
+__all__ = ["GrowthLaw", "Table1Row", "TABLE1", "growth_laws", "table1_row"]
+
+
+@dataclass(frozen=True)
+class GrowthLaw:
+    """A named growth function ``f(n)`` (no leading constant)."""
+
+    label: str
+    fn: Callable[[float], float]
+
+    def __call__(self, n: float) -> float:
+        return self.fn(float(n))
+
+
+def _log(n: float) -> float:
+    return math.log(max(n, 2.0))
+
+
+N = GrowthLaw("n", lambda n: n)
+NLOGN = GrowthLaw("n log n", lambda n: n * _log(n))
+NLOG2N = GrowthLaw("n log² n", lambda n: n * _log(n) ** 2)
+N2 = GrowthLaw("n²", lambda n: n * n)
+N2LOGN = GrowthLaw("n² log n", lambda n: n * n * _log(n))
+N3LOGN = GrowthLaw("n³ log n", lambda n: n**3 * _log(n))
+LOGN = GrowthLaw("log n", lambda n: _log(n))
+LOGNLOGLOGN = GrowthLaw("log n loglog n", lambda n: _log(n) * math.log(max(_log(n), 2.0)))
+CONST = GrowthLaw("1", lambda n: 1.0)
+N_2_3 = GrowthLaw("n^(2/3)", lambda n: n ** (2.0 / 3.0))
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1 (plus our lollipop extension).
+
+    ``seq_constant``/``par_constant`` are the paper's explicit leading
+    constants where known (clique: κ_cc and π²/6; path: the simulated
+    κ_p ≈ 0.6), else ``None``.
+    ``dispersion_upper_only`` marks rows where the paper proves matching
+    orders only up to a log factor (2-d grid: Ω(n log n) vs O(n log² n)).
+    """
+
+    family: str
+    cover: GrowthLaw
+    hitting: GrowthLaw
+    mixing: GrowthLaw
+    seq: GrowthLaw
+    par: GrowthLaw
+    seq_constant: float | None = None
+    par_constant: float | None = None
+    dispersion_upper: GrowthLaw | None = None
+
+
+TABLE1: dict[str, Table1Row] = {
+    "path": Table1Row(
+        "path", N2, N2, N2, N2LOGN, N2LOGN,
+        seq_constant=KAPPA_P_SIMULATED, par_constant=KAPPA_P_SIMULATED,
+    ),
+    "cycle": Table1Row("cycle", N2, N2, N2, N2LOGN, N2LOGN),
+    "grid2d": Table1Row(
+        "grid2d", NLOG2N, NLOGN, N, NLOGN, NLOGN, dispersion_upper=NLOG2N,
+    ),
+    "torus2d": Table1Row(
+        "torus2d", NLOG2N, NLOGN, N, NLOGN, NLOGN, dispersion_upper=NLOG2N,
+    ),
+    "torus3d": Table1Row("torus3d", NLOGN, N, N_2_3, N, N),
+    "hypercube": Table1Row("hypercube", NLOGN, N, LOGNLOGLOGN, N, N),
+    "binary_tree": Table1Row("binary_tree", NLOGN, NLOGN, N, NLOG2N, NLOG2N),
+    "complete": Table1Row(
+        "complete", NLOGN, N, CONST, N, N,
+        seq_constant=KAPPA_CC, par_constant=PI2_OVER_6,
+    ),
+    "expander": Table1Row("expander", NLOGN, N, LOGN, N, N),
+    # Extension row: Corollary 3.2's worst-case witness.
+    "lollipop": Table1Row("lollipop", N3LOGN, N3LOGN, N2LOGN, N3LOGN, N3LOGN),
+}
+
+
+def table1_row(family: str) -> Table1Row:
+    """Row lookup with a helpful error."""
+    try:
+        return TABLE1[family]
+    except KeyError:
+        raise KeyError(
+            f"no Table 1 row for {family!r}; available: {sorted(TABLE1)}"
+        ) from None
+
+
+def growth_laws() -> dict[str, GrowthLaw]:
+    """All named laws, keyed by label (for fitting-law selection)."""
+    laws = [N, NLOGN, NLOG2N, N2, N2LOGN, N3LOGN, LOGN, LOGNLOGLOGN, CONST, N_2_3]
+    return {g.label: g for g in laws}

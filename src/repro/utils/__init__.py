@@ -1,0 +1,28 @@
+"""Shared utilities: RNG handling, argument validation, timing helpers.
+
+These are internal building blocks used across the library.  They are
+re-exported here so downstream code can write ``from repro.utils import
+as_generator`` without caring about module layout.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators, stable_seed
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    check_fraction,
+    check_index,
+    check_nonnegative,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "stable_seed",
+    "Stopwatch",
+    "check_fraction",
+    "check_index",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability_vector",
+]

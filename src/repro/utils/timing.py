@@ -1,0 +1,41 @@
+"""Tiny wall-clock stopwatch used by the experiment harness.
+
+``pytest-benchmark`` handles micro-benchmarks; :class:`Stopwatch` covers the
+coarser "how long did this sweep take" bookkeeping stored in result files.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+    def running(self) -> bool:
+        """True while inside the ``with`` block."""
+        return self._start is not None and self.elapsed == 0.0

@@ -1,0 +1,64 @@
+"""Small argument-validation helpers with consistent error messages.
+
+Hot loops never call these; they guard public API boundaries only, per the
+"make it work reliably, then optimise the bottleneck" workflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_fraction",
+    "check_index",
+    "check_probability_vector",
+]
+
+
+def check_positive(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_nonnegative(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_fraction(name: str, value, *, inclusive: bool = False) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in (0, 1) (or [0, 1])."""
+    if inclusive:
+        ok = 0.0 <= value <= 1.0
+        rng = "[0, 1]"
+    else:
+        ok = 0.0 < value < 1.0
+        rng = "(0, 1)"
+    if not ok:
+        raise ValueError(f"{name} must be in {rng}, got {value!r}")
+
+
+def check_index(name: str, value, n: int) -> int:
+    """Validate a vertex/particle index against size ``n`` and return it as int."""
+    idx = int(value)
+    if idx != value:
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if not 0 <= idx < n:
+        raise ValueError(f"{name} must be in [0, {n}), got {idx}")
+    return idx
+
+
+def check_probability_vector(name: str, vec, *, atol: float = 1e-9) -> np.ndarray:
+    """Validate that ``vec`` is a probability vector; return it as float array."""
+    arr = np.asarray(vec, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} has negative entries")
+    total = float(arr.sum())
+    if abs(total - 1.0) > max(atol, 1e-9 * arr.size):
+        raise ValueError(f"{name} must sum to 1, sums to {total}")
+    return arr

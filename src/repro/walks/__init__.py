@@ -1,0 +1,25 @@
+"""Random-walk engines: vectorised batch stepping, fast single walks,
+Monte-Carlo hitting/cover estimators and Poissonisation helpers."""
+
+from repro.walks.continuous import exponential_race, poissonise_steps
+from repro.walks.empirical import (
+    empirical_cover_times,
+    empirical_hitting_times,
+    empirical_max_hitting_of_path,
+    empirical_set_hitting_times,
+)
+from repro.walks.engine import WalkEngine
+from repro.walks.single import SingleWalkKernel, random_walk, walk_until_hit
+
+__all__ = [
+    "WalkEngine",
+    "SingleWalkKernel",
+    "random_walk",
+    "walk_until_hit",
+    "empirical_hitting_times",
+    "empirical_set_hitting_times",
+    "empirical_cover_times",
+    "empirical_max_hitting_of_path",
+    "poissonise_steps",
+    "exponential_race",
+]

@@ -1,0 +1,120 @@
+"""Monte-Carlo estimators for hitting and cover times.
+
+These cross-check the exact solvers in :mod:`repro.markov` and supply the
+Table 1 support columns where exact computation is too expensive.  All
+estimators are vectorised over repetitions: ``reps`` independent walkers
+advance together and drop out as they finish, so the cost is proportional
+to the *sum* of completion times, with NumPy-width inner steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.utils.rng import as_generator
+from repro.walks.engine import WalkEngine
+
+__all__ = [
+    "empirical_hitting_times",
+    "empirical_set_hitting_times",
+    "empirical_cover_times",
+    "empirical_max_hitting_of_path",
+]
+
+
+def empirical_hitting_times(
+    g: Graph, source: int, target: int, reps: int, seed=None, *, lazy: bool = False
+) -> np.ndarray:
+    """``reps`` i.i.d. samples of the hitting time ``source -> target``."""
+    return empirical_set_hitting_times(g, source, [target], reps, seed, lazy=lazy)
+
+
+def empirical_set_hitting_times(
+    g: Graph, source: int, targets, reps: int, seed=None, *, lazy: bool = False
+) -> np.ndarray:
+    """``reps`` i.i.d. samples of the hitting time of a set.
+
+    Walkers advance synchronously; finished walkers are compacted out so
+    late stragglers don't pay per-step cost for the finished majority.
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    mask = np.zeros(g.n, dtype=bool)
+    t_arr = np.asarray(list(targets), dtype=np.int64)
+    mask[t_arr] = True
+    out = np.zeros(reps, dtype=np.int64)
+    if mask[source]:
+        return out
+    eng = WalkEngine(g, seed)
+    pos = np.full(reps, source, dtype=np.int64)
+    alive = np.arange(reps)
+    t = 0
+    while alive.size:
+        t += 1
+        if lazy:
+            pos = eng.step_lazy(pos)
+        else:
+            pos = eng.step(pos, out=pos)
+        done = mask[pos]
+        if done.any():
+            out[alive[done]] = t
+            keep = ~done
+            pos = pos[keep]
+            alive = alive[keep]
+    return out
+
+
+def empirical_cover_times(g: Graph, start: int, reps: int, seed=None) -> np.ndarray:
+    """``reps`` i.i.d. samples of the cover time from ``start``.
+
+    Each repetition runs its own walk (cover time needs per-walk visited
+    sets); the seen-set update is a vectorised scatter per step across all
+    active repetitions.
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    eng = WalkEngine(g, seed)
+    n = g.n
+    pos = np.full(reps, start, dtype=np.int64)
+    seen = np.zeros((reps, n), dtype=bool)
+    seen[:, start] = True
+    remaining = np.full(reps, n - 1, dtype=np.int64)
+    out = np.zeros(reps, dtype=np.int64)
+    alive = np.arange(reps)
+    t = 0
+    while alive.size:
+        t += 1
+        pos = eng.step(pos, out=pos)
+        rows = np.arange(alive.size)
+        newly = ~seen[alive, pos]
+        seen[alive[newly], pos[newly]] = True
+        remaining[alive[newly]] -= 1
+        done = remaining[alive] == 0
+        if done.any():
+            out[alive[done]] = t
+            keep = ~done
+            pos = pos[keep]
+            alive = alive[keep]
+    return out
+
+
+def empirical_max_hitting_of_path(n: int, reps: int, seed=None) -> np.ndarray:
+    """Theorem 5.4's random variable ``M``: max of ``n`` independent
+    endpoint-to-endpoint hitting times on the path ``P_n``.
+
+    Returns ``reps`` samples of ``M``.  Implemented as ``n · reps``
+    concurrent walkers from vertex 0 targeting ``n-1``, grouped per
+    repetition.
+    """
+    from repro.graphs.generators.basic import path_graph
+
+    g = path_graph(n)
+    rng = as_generator(seed)
+    out = np.empty(reps, dtype=np.int64)
+    for r in range(reps):
+        samples = empirical_set_hitting_times(
+            g, 0, [n - 1], n, rng
+        )
+        out[r] = samples.max()
+    return out

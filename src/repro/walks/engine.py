@@ -1,0 +1,118 @@
+"""Vectorised multi-walker stepping — the library's innermost hot loop.
+
+One synchronous step for ``k`` walkers costs three NumPy gathers:
+
+    ``deg = degrees[pos]; off = floor(U * deg); new = indices[indptr[pos] + off]``
+
+which is cache-friendly (contiguous CSR arrays) and allocation-free when an
+output buffer is supplied.  This is the "vectorise the for loop" pattern
+from the HPC guide applied to the Parallel-IDLA inner loop, where all
+unsettled particles advance together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.utils.rng import as_generator
+
+__all__ = ["WalkEngine"]
+
+
+class WalkEngine:
+    """Reusable stepping kernel bound to one graph.
+
+    Parameters
+    ----------
+    g:
+        The graph to walk on.
+    seed:
+        Anything accepted by :func:`repro.utils.rng.as_generator`.
+
+    Examples
+    --------
+    >>> from repro.graphs import cycle_graph
+    >>> eng = WalkEngine(cycle_graph(8), seed=0)
+    >>> pos = np.zeros(5, dtype=np.int64)
+    >>> new = eng.step(pos)
+    >>> bool(np.all((new == 1) | (new == 7)))
+    True
+    """
+
+    __slots__ = ("graph", "rng", "_indptr", "_indices", "_degrees")
+
+    def __init__(self, g: Graph, seed=None):
+        self.graph = g
+        self.rng = as_generator(seed)
+        self._indptr = g.indptr
+        self._indices = g.indices
+        self._degrees = g.degrees
+
+    # ------------------------------------------------------------------
+    def step(self, positions: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Advance every walker one simple-random-walk step.
+
+        ``positions`` is not modified; pass ``out=positions`` for in-place
+        updates (aliasing is safe: all reads happen before the write).
+        """
+        u = self.rng.random(positions.shape[0])
+        deg = self._degrees[positions]
+        offsets = (u * deg).astype(np.int64)
+        # floating-point guard: u < 1 ensures offsets < deg, but be explicit
+        np.minimum(offsets, deg - 1, out=offsets)
+        flat = self._indptr[positions] + offsets
+        if out is None:
+            return self._indices[flat]
+        np.take(self._indices, flat, out=out)
+        return out
+
+    def step_lazy(
+        self,
+        positions: np.ndarray,
+        hold: float = 0.5,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Advance walkers one *lazy* step (stay put w.p. ``hold``)."""
+        if not 0.0 <= hold < 1.0:
+            raise ValueError(f"hold must be in [0, 1), got {hold}")
+        move = self.rng.random(positions.shape[0]) >= hold
+        new = self.step(positions)
+        result = np.where(move, new, positions)
+        if out is None:
+            return result
+        out[:] = result
+        return out
+
+    def step_subset(
+        self, positions: np.ndarray, active: np.ndarray
+    ) -> None:
+        """In-place step only the walkers flagged in boolean mask ``active``."""
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            return
+        positions[idx] = self.step(positions[idx])
+
+    # ------------------------------------------------------------------
+    def trajectories(self, starts: np.ndarray, steps: int) -> np.ndarray:
+        """Record ``steps`` synchronous steps: shape ``(steps+1, k)``.
+
+        Row ``t`` is the position of every walker after ``t`` steps.
+        Memory is ``O(steps · k)``; use for analysis, not long production runs.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        out = np.empty((steps + 1, starts.shape[0]), dtype=np.int64)
+        out[0] = starts
+        for t in range(steps):
+            out[t + 1] = self.step(out[t])
+        return out
+
+    def endpoint_distribution(
+        self, start: int, steps: int, walkers: int
+    ) -> np.ndarray:
+        """Empirical law of ``X_steps`` from ``walkers`` i.i.d. walks."""
+        pos = np.full(walkers, start, dtype=np.int64)
+        for _ in range(steps):
+            self.step(pos, out=pos)
+        counts = np.bincount(pos, minlength=self.graph.n)
+        return counts / walkers

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestFamilies:
+    def test_lists_all(self):
+        code, text = run_cli("families")
+        assert code == 0
+        for fam in ("cycle", "complete", "hypercube", "lollipop"):
+            assert fam in text
+
+
+class TestConstants:
+    def test_prints_constants(self):
+        code, text = run_cli("constants")
+        assert code == 0
+        assert "1.255" in text and "1.644" in text
+
+
+class TestRun:
+    def test_run_sequential(self):
+        code, text = run_cli("run", "complete", "32", "--reps", "3")
+        assert code == 0
+        assert "sequential" in text and "E[τ]" in text
+
+    def test_run_parallel_lazy(self):
+        code, text = run_cli(
+            "run", "cycle", "16", "--process", "parallel", "--reps", "2", "--lazy"
+        )
+        assert code == 0
+
+    def test_run_rejects_lazy_ctu(self):
+        code, _ = run_cli("run", "cycle", "16", "--process", "ctu", "--lazy")
+        assert code == 2
+
+    def test_run_unknown_family(self):
+        with pytest.raises(KeyError):
+            run_cli("run", "petersen", "16")
+
+
+class TestSweep:
+    def test_sweep_output(self):
+        code, text = run_cli("sweep", "complete", "32", "64", "--reps", "2")
+        assert code == 0
+        assert "exponent" in text
+        assert "constant" in text
+
+
+class TestBounds:
+    def test_bounds_table(self):
+        code, text = run_cli("bounds", "cycle", "16", "--reps", "5")
+        assert code == 0
+        assert "Thm 3.1" in text and "Thm 3.6" in text and "Prop 3.9" in text
+
+    def test_bounds_tree_row(self):
+        code, text = run_cli("bounds", "binary_tree", "15", "--reps", "5")
+        assert code == 0
+        assert "Thm 3.7" in text

@@ -1,0 +1,177 @@
+"""Tests for Block, Cut & Paste, and validity predicates."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Block,
+    is_valid_parallel_block,
+    is_valid_sequential_block,
+    is_valid_uniform_block,
+)
+from repro.graphs import cycle_graph, path_graph
+
+
+def paper_example_block():
+    """The worked example from §4 of the paper (vertices relabelled 0-3)."""
+    return Block([
+        [0],
+        [0, 1],
+        [0, 1, 1, 2],
+        [0, 1, 0, 1, 2, 3],
+    ])
+
+
+class TestBlockBasics:
+    def test_row_lengths(self):
+        b = paper_example_block()
+        assert b.row_lengths() == [0, 1, 3, 5]
+        assert b.total_length == 9
+        assert b.max_row_length == 5
+
+    def test_endpoints(self):
+        b = paper_example_block()
+        assert b.endpoints() == [0, 1, 2, 3]
+        assert b.endpoint_row(2) == 2
+
+    def test_duplicate_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Block([[0], [1, 0]])
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Block([[0], []])
+
+    def test_no_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Block([])
+
+    def test_copy_independent(self):
+        b = paper_example_block()
+        c = b.copy()
+        c.rows[1].append(9)
+        assert b.rows[1] == [0, 1]
+
+    def test_equality(self):
+        assert paper_example_block() == paper_example_block()
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(paper_example_block())
+
+    def test_visit_multiset(self):
+        b = Block([[0], [0, 1]])
+        assert b.visit_multiset() == {0: 2, 1: 1}
+
+    def test_arc_multiset(self):
+        b = Block([[0], [0, 1], [0, 1, 0, 2]])
+        arcs = b.arc_multiset()
+        assert arcs[(0, 1)] == 2
+        assert arcs[(1, 0)] == 1
+        assert arcs[(0, 2)] == 1
+
+
+class TestCutPaste:
+    def test_paper_example(self):
+        # CP at (3, 1) of the paper's example (our row 3, cell index 1):
+        # cuts [0,1,2,3] tail after the '1' and pastes onto row ending at 1.
+        b = paper_example_block()
+        b.cut_paste(3, 1)
+        assert b.rows == [
+            [0],
+            [0, 1, 0, 1, 2, 3],
+            [0, 1, 1, 2],
+            [0, 1],
+        ]
+
+    def test_identity_at_endpoints(self):
+        b = paper_example_block()
+        before = [list(r) for r in b.rows]
+        for i in range(b.n):
+            b.cut_paste(i, b.row_length(i))
+        assert b.rows == before
+
+    def test_preserves_total_length(self):
+        b = paper_example_block()
+        b.cut_paste(3, 1)
+        assert b.total_length == 9
+
+    def test_preserves_endpoint_distinctness(self):
+        b = paper_example_block()
+        b.cut_paste(3, 1)
+        assert sorted(b.endpoints()) == [0, 1, 2, 3]
+
+    def test_preserves_visit_and_arc_multisets(self):
+        b = paper_example_block()
+        visits, arcs = b.visit_multiset(), b.arc_multiset()
+        b.cut_paste(3, 1)
+        assert b.visit_multiset() == visits
+        assert b.arc_multiset() == arcs
+
+    def test_endpoint_index_maintained(self):
+        b = paper_example_block()
+        b.cut_paste(3, 1)
+        for v in range(4):
+            assert b.rows[b.endpoint_row(v)][-1] == v
+
+    def test_out_of_range_cell(self):
+        b = paper_example_block()
+        with pytest.raises(IndexError):
+            b.cut_paste(0, 5)
+
+    def test_chain_of_cut_pastes_stays_consistent(self):
+        rng = np.random.default_rng(0)
+        b = paper_example_block()
+        for _ in range(50):
+            i = int(rng.integers(b.n))
+            t = int(rng.integers(b.row_length(i) + 1))
+            b.cut_paste(i, t)
+            assert b.total_length == 9
+            assert sorted(b.endpoints()) == [0, 1, 2, 3]
+
+
+class TestValidity:
+    def test_sequential_example_valid(self):
+        # paper's sequential reading: rows end at first new vertex
+        b = Block([[0], [0, 1], [0, 1, 1, 2], [0, 1, 0, 1, 2, 3]])
+        assert is_valid_sequential_block(b)
+
+    def test_sequential_violation(self):
+        # vertex 2 first occurs mid-row
+        b = Block([[0], [0, 2, 1], [0, 2]])
+        assert not is_valid_sequential_block(b)
+
+    def test_parallel_property(self):
+        # column-major reading: row 1 must claim vertex 1 at its end
+        b = Block([[0], [0, 1], [0, 1, 2]])
+        assert is_valid_parallel_block(b)
+
+    def test_parallel_violation(self):
+        # in column 1 (reading rows top-down), vertex 1 first occurs in
+        # row 1 which continues afterwards
+        b = Block([[0], [0, 1, 2], [0, 1]])
+        assert not is_valid_parallel_block(b)
+
+    def test_path_check_against_graph(self):
+        g = path_graph(3)
+        good = Block([[0], [0, 1], [0, 1, 0, 1, 2]])
+        assert is_valid_sequential_block(good, g, 0)
+        bad_edge = Block([[0], [0, 2], [0, 1]])  # 0-2 not an edge
+        assert not is_valid_sequential_block(bad_edge, g, 0)
+        bad_origin = Block([[1], [1, 0], [1, 2]])
+        assert not is_valid_sequential_block(bad_origin, g, 0)
+
+    def test_uniform_validity(self):
+        # schedule moves particle 1 twice then particle 2 twice
+        b = Block([[0], [0, 1], [0, 1, 2]])
+        # tick0 reads (0,0),(1,0),(2,0); schedule: 1 -> reads (1,1)=1 new,
+        # ends row 1 ok; 2 -> (2,1)=1 seen; 2 -> (2,2)=2 new, ends row 2.
+        assert is_valid_uniform_block(b, [1, 2, 2])
+
+    def test_uniform_invalid_if_unread(self):
+        b = Block([[0], [0, 1], [0, 1, 2]])
+        assert not is_valid_uniform_block(b, [1])  # row 2 never finishes
+
+    def test_uniform_wasted_ticks_ok(self):
+        b = Block([[0], [0, 1]])
+        assert is_valid_uniform_block(b, [1, 1, 1, 0])

@@ -1,0 +1,85 @@
+"""Tests for the DispersionResult container itself."""
+
+import numpy as np
+import pytest
+
+from repro.core import DispersionResult, sequential_idla
+from repro.graphs import cycle_graph
+
+
+def make_result(**overrides):
+    base = dict(
+        process="sequential",
+        graph_name="test",
+        n=3,
+        origin=0,
+        dispersion_time=2,
+        total_steps=3,
+        steps=np.array([0, 1, 2]),
+        settled_at=np.array([0, 1, 2]),
+        settle_order=np.array([0, 1, 2]),
+    )
+    base.update(overrides)
+    return DispersionResult(**base)
+
+
+class TestValidation:
+    def test_shape_mismatch_steps(self):
+        with pytest.raises(ValueError, match="steps"):
+            make_result(steps=np.array([0, 1]))
+
+    def test_shape_mismatch_settled(self):
+        with pytest.raises(ValueError, match="settled_at"):
+            make_result(settled_at=np.array([0]))
+
+    def test_m_defaults_to_n(self):
+        assert make_result().m == 3
+
+    def test_m_with_num_particles(self):
+        r = make_result(
+            num_particles=2,
+            steps=np.array([0, 1]),
+            settled_at=np.array([0, 1]),
+            settle_order=np.array([0, 1]),
+        )
+        assert r.m == 2
+
+
+class TestCompleteness:
+    def test_complete(self):
+        assert make_result().is_complete_dispersion()
+
+    def test_duplicate_settlement_detected(self):
+        r = make_result(settled_at=np.array([0, 1, 1]))
+        assert not r.is_complete_dispersion()
+
+    def test_unsettled_particle_detected(self):
+        r = make_result(settled_at=np.array([0, 1, -1]))
+        assert not r.is_complete_dispersion()
+
+    def test_surplus_mode(self):
+        # m = 4 > n = 3: three settled at distinct vertices, one wanderer
+        r = make_result(
+            num_particles=4,
+            steps=np.array([0, 1, 2, 2]),
+            settled_at=np.array([0, 1, 2, -1]),
+            settle_order=np.array([0, 1, 2]),
+        )
+        assert r.is_complete_dispersion()
+
+
+class TestAccessors:
+    def test_block_requires_recording(self):
+        res = sequential_idla(cycle_graph(6), 0, seed=1)
+        with pytest.raises(ValueError, match="record=True"):
+            res.block()
+
+    def test_summary_contains_key_fields(self):
+        res = sequential_idla(cycle_graph(6), 0, seed=2)
+        s = res.summary()
+        assert "cycle-6" in s and "dispersion" in s and "total_steps" in s
+
+    def test_frozen(self):
+        res = make_result()
+        with pytest.raises(Exception):
+            res.n = 5

@@ -1,0 +1,94 @@
+"""Tests for Uniform/CTU variants and the PtU_R inverse property."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ctu_idla,
+    parallel_idla,
+    parallel_to_uniform,
+    sequential_to_parallel,
+    uniform_idla,
+)
+from repro.graphs import complete_graph, cycle_graph, grid_graph
+from repro.utils.rng import stable_seed
+
+
+class TestUniformVariants:
+    def test_num_particles(self):
+        res = uniform_idla(cycle_graph(12), 0, seed=1, num_particles=5)
+        assert res.m == 5
+        assert res.is_complete_dispersion()
+
+    def test_rejects_m_over_n(self):
+        with pytest.raises(ValueError):
+            uniform_idla(cycle_graph(8), 0, num_particles=9)
+
+    def test_uniform_origins(self):
+        res = uniform_idla(grid_graph(4, 4), "uniform", seed=2)
+        assert res.is_complete_dispersion()
+
+    def test_explicit_origins_round0(self):
+        res = uniform_idla(cycle_graph(6), [0, 3, 0, 3, 1, 2], seed=3)
+        # particles 0, 1 settle at their vacant starts; 4 and 5 too
+        assert res.steps[0] == 0 and res.steps[1] == 0
+        assert res.steps[4] == 0 and res.steps[5] == 0
+        assert res.is_complete_dispersion()
+
+
+class TestCtuVariants:
+    def test_num_particles(self):
+        res = ctu_idla(complete_graph(16), 0, seed=4, num_particles=6)
+        assert res.m == 6
+        assert res.is_complete_dispersion()
+
+    def test_rejects_m_over_n(self):
+        with pytest.raises(ValueError):
+            ctu_idla(cycle_graph(8), 0, num_particles=10)
+
+    def test_uniform_origins(self):
+        res = ctu_idla(grid_graph(4, 4), "uniform", seed=5)
+        assert res.is_complete_dispersion()
+
+    def test_single_particle_zero_clock(self):
+        res = ctu_idla(cycle_graph(8), 2, seed=6, num_particles=1)
+        assert res.dispersion_time == 0.0
+        assert res.settled_at.tolist() == [2]
+
+
+class TestPtUInverse:
+    """Theorem 4.7's bijection: StP inverts PtU_R exactly."""
+
+    @pytest.mark.parametrize(
+        "g", [cycle_graph(8), complete_graph(6), grid_graph(3, 3)],
+        ids=lambda g: g.name,
+    )
+    def test_stp_inverts_ptu(self, g):
+        for r in range(8):
+            res = parallel_idla(
+                g, 0, seed=stable_seed("ptu-inv", g.name, r), record=True
+            )
+            b = res.block()
+            rng = np.random.default_rng(stable_seed("ptu-sched", g.name, r))
+            sched = rng.integers(1, g.n, size=200 * b.total_length + 100)
+            u = parallel_to_uniform(b, sched.tolist())
+            assert sequential_to_parallel(u.block) == b
+
+    def test_uniform_run_roundtrips_through_parallel(self):
+        # direct uniform run -> StP -> PtU with the SAME realised schedule
+        # recovers the original block
+        g = cycle_graph(8)
+        for r in range(6):
+            res = uniform_idla(
+                g, 0, seed=stable_seed("ptu-rt", r), record=True, faithful_r=True
+            )
+            b = res.block()
+            par = sequential_to_parallel(b)
+            # pad the realised schedule: reading may need more ticks than
+            # the original run used (cells move between rows)
+            rng = np.random.default_rng(stable_seed("ptu-pad", r))
+            pad = rng.integers(1, g.n, size=100 * b.total_length + 100)
+            sched = np.concatenate([res.schedule, pad])
+            back = parallel_to_uniform(par, sched.tolist())
+            # PtU_R is StP's exact inverse for the realised schedule
+            assert back.block == b

@@ -1,0 +1,67 @@
+"""Run the library's doctests so documented examples can never drift."""
+
+import doctest
+
+import pytest
+
+import repro.bounds.constants
+import repro.core.aggregate
+import repro.core.blocks
+import repro.core.continuous
+import repro.core.parallel
+import repro.core.sequential
+import repro.core.uniform
+import repro.experiments.fitting
+import repro.experiments.runner
+import repro.experiments.stats
+import repro.experiments.sweep
+import repro.experiments.tables
+import repro.graphs.csr
+import repro.graphs.generators.basic
+import repro.graphs.generators.composite
+import repro.graphs.generators.grids
+import repro.graphs.generators.random
+import repro.graphs.generators.trees
+import repro.markov.exact_idla
+import repro.markov.hitting
+import repro.markov.sets
+import repro.markov.spectral
+import repro.utils.rng
+import repro.utils.timing
+import repro.walks.continuous
+import repro.walks.engine
+
+MODULES = [
+    repro.utils.rng,
+    repro.utils.timing,
+    repro.graphs.csr,
+    repro.graphs.generators.basic,
+    repro.graphs.generators.trees,
+    repro.graphs.generators.grids,
+    repro.graphs.generators.composite,
+    repro.graphs.generators.random,
+    repro.markov.hitting,
+    repro.markov.sets,
+    repro.markov.spectral,
+    repro.markov.exact_idla,
+    repro.walks.engine,
+    repro.walks.continuous,
+    repro.core.blocks,
+    repro.core.sequential,
+    repro.core.parallel,
+    repro.core.uniform,
+    repro.core.continuous,
+    repro.core.aggregate,
+    repro.bounds.constants,
+    repro.experiments.stats,
+    repro.experiments.fitting,
+    repro.experiments.runner,
+    repro.experiments.sweep,
+    repro.experiments.tables,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,102 @@
+"""Tests for the exact dispersion-time CDF of Sequential-IDLA.
+
+The CDF oracle cross-validates three ways: against the independent-
+geometric closed form on the clique, against the expected-max formula,
+and against the Monte-Carlo driver on several small graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds import expected_max_geometric_sum
+from repro.core import sequential_idla
+from repro.graphs import complete_graph, cycle_graph, path_graph, star_graph
+from repro.markov import (
+    exact_expected_sequential_dispersion,
+    sequential_dispersion_cdf,
+)
+from repro.utils.rng import stable_seed
+
+
+class TestCdfStructure:
+    def test_monotone_and_bounded(self):
+        cdf = sequential_dispersion_cdf(cycle_graph(6), t_max=120)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[0] == 0.0 or cycle_graph(6).n == 1
+        assert cdf[-1] <= 1.0 + 1e-12
+        assert cdf[-1] > 0.9  # t_max far beyond the mean
+
+    def test_single_vertex_like_start(self):
+        # P2: one particle settles at origin, the other in exactly 1 step
+        from repro.graphs import Graph
+
+        g = Graph.from_edges(2, [(0, 1)])
+        cdf = sequential_dispersion_cdf(g, t_max=3)
+        assert cdf.tolist() == [0.0, 1.0, 1.0, 1.0]
+
+    def test_path3_values(self):
+        # τ = max(T1, T2); T1 = 1 always; T2 from 0 with {1} occupied... here
+        # origin 1: T2 odd, P[T2 = 2k+1] = 2^{-(k+1)}
+        cdf = sequential_dispersion_cdf(path_graph(3), 1, t_max=5)
+        assert np.isclose(cdf[1], 0.5)
+        assert np.isclose(cdf[3], 0.75)
+        assert np.isclose(cdf[5], 0.875)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_dispersion_cdf(cycle_graph(20), t_max=10)
+        with pytest.raises(ValueError):
+            sequential_dispersion_cdf(cycle_graph(6), origin=9, t_max=10)
+        with pytest.raises(ValueError):
+            sequential_dispersion_cdf(cycle_graph(6), t_max=-1)
+
+
+class TestExpectedDispersion:
+    def test_clique_matches_independent_geometrics(self):
+        # on K_n the particles' waits ARE independent geometrics: the DP
+        # must reproduce the coupon-collector longest wait to precision
+        for n in (5, 7, 9):
+            exact = exact_expected_sequential_dispersion(complete_graph(n))
+            ref = expected_max_geometric_sum(n - 1)
+            assert abs(exact - ref) < 1e-6
+
+    def test_star_is_double_clique_minus_one(self):
+        # S_n sequential from the centre: a walk with k failed excursions
+        # takes 2k + 1 steps, i.e. T = 2G − 1 with G ~ Geom(free/(n-1)),
+        # so E[τ_seq(S_n)] = 2 E[max_i G_i] − 1 exactly (the paper's
+        # t_seq(S_n) = 2 t_seq(K_n) is this, up to the additive constant).
+        n = 7
+        exact = exact_expected_sequential_dispersion(star_graph(n))
+        ref = 2.0 * expected_max_geometric_sum(n - 1) - 1.0
+        assert abs(exact - ref) < 1e-6
+
+    @pytest.mark.parametrize(
+        "g", [cycle_graph(7), path_graph(6), complete_graph(6)],
+        ids=lambda g: g.name,
+    )
+    def test_matches_monte_carlo(self, g):
+        exact = exact_expected_sequential_dispersion(g)
+        reps = 1500
+        mc = np.array(
+            [
+                sequential_idla(g, 0, seed=stable_seed("cdf-mc", g.name, r)).dispersion_time
+                for r in range(reps)
+            ]
+        )
+        sem = mc.std() / np.sqrt(reps)
+        assert abs(mc.mean() - exact) < 4 * sem + 0.05
+
+    def test_lazy_roughly_doubles(self):
+        g = path_graph(5)
+        fast = exact_expected_sequential_dispersion(g)
+        slow = exact_expected_sequential_dispersion(g, lazy=True)
+        assert 1.8 < slow / fast < 2.2
+
+    def test_dominates_expected_per_particle_max(self):
+        # E[max_i T_i] >= max_i E[T_i]
+        from repro.markov import analyze_sequential_idla
+
+        g = cycle_graph(8)
+        exact = exact_expected_sequential_dispersion(g)
+        per = analyze_sequential_idla(g).expected_steps_per_particle
+        assert exact >= per.max() - 1e-9

@@ -1,0 +1,141 @@
+"""Tests for the CSR Graph type."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, cycle_graph, path_graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.n == 3
+        assert g.num_edges == 2
+        assert g.degrees.tolist() == [1, 2, 1]
+
+    def test_from_edges_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph.from_edges(2, [(0, 5)])
+
+    def test_from_edges_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loops"):
+            Graph.from_edges(2, [(1, 1)])
+
+    def test_from_edges_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [(0, 1, 2)])
+
+    def test_from_edges_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(0, [])
+
+    def test_empty_graph_single_vertex(self):
+        g = Graph(np.array([0, 0]), np.array([], dtype=np.int64))
+        assert g.n == 1 and g.num_edges == 0
+
+    def test_parallel_edges_allowed(self):
+        g = Graph.from_edges(2, [(0, 1), (0, 1)])
+        assert g.degree(0) == 2
+        assert g.num_edges == 2
+
+    def test_from_adjacency_lists(self):
+        g = Graph.from_adjacency_lists([[1], [0, 2], [1]])
+        assert g.degrees.tolist() == [1, 2, 1]
+
+    def test_raw_constructor_validates_symmetry(self):
+        # arc 0->1 without 1->0
+        with pytest.raises(ValueError, match="symmetric"):
+            Graph(np.array([0, 1, 1]), np.array([1], dtype=np.int64))
+
+    def test_raw_constructor_validates_indptr(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([1, 0]), np.array([], dtype=np.int64))
+
+    def test_indices_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 1, 2]), np.array([5, 0], dtype=np.int64))
+
+    def test_arrays_frozen(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            g.indices[0] = 3
+
+
+class TestAccessors:
+    def test_neighbors_sorted_content(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert sorted(g.neighbors(0).tolist()) == [1, 2, 3]
+        assert g.neighbors(1).tolist() == [0]
+
+    def test_has_edge(self):
+        g = path_graph(4)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_edges_iteration_roundtrip(self):
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3)]
+        g = Graph.from_edges(4, edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+    def test_max_min_degree(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree == 3
+        assert g.min_degree == 1
+
+    def test_equality_and_hash(self):
+        a, b = path_graph(5), path_graph(5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != cycle_graph(5)
+
+    def test_adjacency_lists(self):
+        g = path_graph(3)
+        assert [sorted(a) for a in g.adjacency_lists()] == [[1], [0, 2], [1]]
+
+
+class TestPredicates:
+    def test_regularity(self):
+        assert cycle_graph(5).is_regular()
+        assert not path_graph(5).is_regular()
+
+    def test_almost_regular(self):
+        assert cycle_graph(6).is_almost_regular()
+        assert path_graph(6).is_almost_regular()  # 2/1 <= 4
+
+    def test_connected(self):
+        assert path_graph(10).is_connected()
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert not g.is_connected()
+
+    def test_single_vertex_connected(self):
+        g = Graph(np.array([0, 0]), np.array([], dtype=np.int64))
+        assert g.is_connected()
+
+    def test_bipartite(self):
+        assert path_graph(5).is_bipartite()
+        assert cycle_graph(6).is_bipartite()
+        assert not cycle_graph(5).is_bipartite()
+
+
+class TestSelfLoops:
+    def test_with_self_loops_default_is_lazy_graph(self):
+        g = cycle_graph(6)
+        gl = g.with_self_loops()
+        # each vertex now has deg + deg slots; half point to itself
+        assert gl.degrees.tolist() == [4] * 6
+        for v in range(6):
+            nbrs = gl.neighbors(v).tolist()
+            assert nbrs.count(v) == 2
+
+    def test_with_self_loops_fixed_count(self):
+        g = path_graph(3)
+        gl = g.with_self_loops(1)
+        assert gl.degrees.tolist() == [2, 3, 2]
+
+    def test_with_self_loops_rejects_negative(self):
+        with pytest.raises(ValueError):
+            path_graph(3).with_self_loops(-1)
+
+    def test_num_edges_ignores_loops(self):
+        g = cycle_graph(5)
+        assert g.with_self_loops().num_edges == g.num_edges

@@ -1,0 +1,255 @@
+"""Tests for all graph generators (structure, sizes, degrees, paper layouts)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    barbell_graph,
+    binary_tree_with_path,
+    clique_with_hair,
+    clique_with_hair_on_pimple,
+    comb_graph,
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    double_star,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    largest_component,
+    lollipop_connector,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.properties import is_tree, leaves
+
+
+class TestBasicFamilies:
+    def test_path_structure(self):
+        g = path_graph(6)
+        assert g.num_edges == 5
+        assert g.degrees.tolist() == [1, 2, 2, 2, 2, 1]
+        assert is_tree(g)
+
+    def test_path_n1(self):
+        assert path_graph(1).n == 1
+
+    def test_path_rejects_zero(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+    def test_cycle_structure(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert g.is_regular() and g.degree(0) == 2
+        assert g.has_edge(5, 0)
+
+    def test_cycle_min_size(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete_structure(self):
+        g = complete_graph(7)
+        assert g.num_edges == 21
+        assert g.is_regular() and g.degree(0) == 6
+        assert g.is_connected()
+
+    @pytest.mark.parametrize("n", [2, 3, 10])
+    def test_complete_all_pairs(self, n):
+        g = complete_graph(n)
+        for u in range(n):
+            for v in range(u + 1, n):
+                assert g.has_edge(u, v)
+
+    def test_star_structure(self):
+        g = star_graph(9)
+        assert g.degree(0) == 8
+        assert all(g.degree(v) == 1 for v in range(1, 9))
+        assert is_tree(g)
+
+
+class TestTrees:
+    @pytest.mark.parametrize("h,n", [(0, 1), (1, 3), (2, 7), (4, 31)])
+    def test_btree_sizes(self, h, n):
+        assert complete_binary_tree(h).n == n
+
+    def test_btree_is_tree_with_heap_structure(self):
+        g = complete_binary_tree(3)
+        assert is_tree(g)
+        assert g.degree(0) == 2  # root
+        for i in range(1, 7):
+            assert g.degree(i) == 3  # internal
+        assert len(leaves(g)) == 8
+
+    def test_btree_negative_height(self):
+        with pytest.raises(ValueError):
+            complete_binary_tree(-1)
+
+    def test_binary_tree_with_path_layout(self):
+        g = binary_tree_with_path(2, path_len=3)
+        assert g.n == 10
+        assert is_tree(g)
+        # path hangs off the root 0: 0-7-8-9
+        assert g.has_edge(0, 7) and g.has_edge(7, 8) and g.has_edge(8, 9)
+        assert g.degree(9) == 1
+
+    def test_binary_tree_with_path_default_len(self):
+        g = binary_tree_with_path(5)  # n_t = 63
+        n_t = 63
+        expected = int(np.floor(n_t ** (0.5 - 0.125)))
+        assert g.n == n_t + expected
+
+    def test_comb(self):
+        g = comb_graph(4, 3)
+        assert g.n == 16
+        assert is_tree(g)
+        # spine degrees: interior spine vertices have degree 3
+        assert g.degree(1) == 3
+
+    def test_comb_no_teeth_path(self):
+        g = comb_graph(5, 0)
+        assert g.n == 5 and g.num_edges == 4
+
+    def test_double_star(self):
+        g = double_star(3, 4)
+        assert g.n == 9
+        assert g.degree(0) == 4 and g.degree(1) == 5
+        assert is_tree(g)
+
+
+class TestGrids:
+    def test_grid_2d_structure(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.max_degree == 4 and g.min_degree == 2
+
+    def test_grid_1d_is_path(self):
+        assert grid_graph(5) == path_graph(5)
+
+    def test_grid_3d(self):
+        g = grid_graph(3, 3, 3)
+        assert g.n == 27
+        assert g.max_degree == 6  # centre
+        assert g.min_degree == 3  # corners
+
+    def test_torus_regularity(self):
+        g = torus_graph(4, 4)
+        assert g.is_regular() and g.degree(0) == 4
+        assert g.num_edges == 2 * 16
+
+    def test_torus_1d_is_cycle(self):
+        assert torus_graph(7) == cycle_graph(7)
+
+    def test_torus_rejects_side_2(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 4)
+
+    def test_torus_3d_regular(self):
+        g = torus_graph(3, 3, 3)
+        assert g.is_regular() and g.degree(0) == 6
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 5])
+    def test_hypercube(self, d):
+        g = hypercube_graph(d)
+        assert g.n == 2**d
+        assert g.is_regular() and g.degree(0) == d
+        assert g.num_edges == d * 2 ** (d - 1)
+        assert g.is_bipartite()
+
+    def test_hypercube_adjacency_is_bitflip(self):
+        g = hypercube_graph(4)
+        for u, v in g.edges():
+            assert bin(u ^ v).count("1") == 1
+
+
+class TestComposite:
+    def test_lollipop_structure(self):
+        n = 12
+        g = lollipop_graph(n)
+        k = (n + 1) // 2
+        assert g.n == n
+        assert g.num_edges == k * (k - 1) // 2 + (n - k)
+        conn = lollipop_connector(n)
+        assert g.degree(conn) == k  # k-1 clique edges + 1 path edge
+        assert g.degree(n - 1) == 1  # path tip
+
+    def test_lollipop_odd_even(self):
+        assert lollipop_graph(11).n == 11
+        assert lollipop_graph(10).n == 10
+
+    def test_clique_with_hair(self):
+        g = clique_with_hair(10)
+        assert g.n == 10
+        assert g.degree(9) == 1  # hair tip
+        assert g.degree(0) == 9  # v: 8 clique + 1 hair
+        assert g.has_edge(0, 9)
+
+    def test_clique_with_hair_on_pimple(self):
+        n = 32
+        g = clique_with_hair_on_pimple(n, pimple_size=8)
+        v, vstar = n - 2, n - 1
+        assert g.degree(vstar) == 1
+        assert g.degree(v) == 8  # (h-1) clique nbrs + hair
+        assert g.has_edge(v, vstar)
+        assert g.is_connected()
+
+    def test_pimple_default_size(self):
+        n = 64
+        g = clique_with_hair_on_pimple(n)
+        h = max(2, int(round(n / np.log(n))))
+        assert g.degree(n - 2) == h
+
+    def test_pimple_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            clique_with_hair_on_pimple(32, pimple_size=1)
+
+    def test_barbell(self):
+        g = barbell_graph(5, 3)
+        assert g.n == 13
+        assert g.is_connected()
+        assert g.num_edges == 2 * 10 + 4
+
+
+class TestRandomFamilies:
+    def test_random_regular_basic(self):
+        g = random_regular_graph(20, 4, seed=0)
+        assert g.n == 20 and g.is_regular() and g.degree(0) == 4
+        assert g.is_connected()
+
+    def test_random_regular_deterministic(self):
+        a = random_regular_graph(16, 3, seed=9)
+        b = random_regular_graph(16, 3, seed=9)
+        assert a == b
+
+    def test_random_regular_rejects_odd_product(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+
+    def test_random_regular_rejects_d_ge_n(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4)
+
+    def test_erdos_renyi_bounds(self):
+        g = erdos_renyi_graph(25, 0.3, seed=1)
+        assert g.n == 25
+        assert 0 < g.num_edges < 300
+
+    def test_erdos_renyi_extreme_p(self):
+        assert erdos_renyi_graph(10, 1.0, seed=0).num_edges == 45
+        assert erdos_renyi_graph(10, 0.0, seed=0).num_edges == 0
+
+    def test_largest_component(self):
+        # two cliques, sizes 4 and 3, disconnected
+        from repro.graphs import Graph
+
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        edges += [(i, j) for i in range(4, 7) for j in range(i + 1, 7)]
+        g = Graph.from_edges(7, edges)
+        sub, orig = largest_component(g)
+        assert sub.n == 4
+        assert sorted(orig.tolist()) == [0, 1, 2, 3]
+        assert sub.is_connected()

@@ -1,0 +1,123 @@
+"""Tests for graph structural properties and networkx conversion."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.graphs import (
+    Graph,
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    from_networkx,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+from repro.graphs.properties import (
+    bfs_distances,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    is_tree,
+    leaves,
+)
+
+
+class TestBFS:
+    def test_path_distances(self):
+        d = bfs_distances(path_graph(5), 0)
+        assert d.tolist() == [0, 1, 2, 3, 4]
+
+    def test_cycle_distances(self):
+        d = bfs_distances(cycle_graph(6), 0)
+        assert d.tolist() == [0, 1, 2, 3, 2, 1]
+
+    def test_disconnected_marked(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        d = bfs_distances(g, 0)
+        assert d[2] == -1 and d[3] == -1
+
+    def test_matches_networkx(self, small_graph):
+        nxg = to_networkx(small_graph)
+        expected = nx.single_source_shortest_path_length(nxg, 0)
+        got = bfs_distances(small_graph, 0)
+        for v, dist in expected.items():
+            assert got[v] == dist
+
+
+class TestDiameterEccentricity:
+    @pytest.mark.parametrize(
+        "g,expect",
+        [
+            (path_graph(7), 6),
+            (cycle_graph(8), 4),
+            (complete_graph(5), 1),
+            (hypercube_graph(4), 4),
+            (grid_graph(3, 5), 6),
+        ],
+    )
+    def test_known_diameters(self, g, expect):
+        assert diameter(g) == expect
+
+    def test_eccentricity_center_vs_leaf(self):
+        g = path_graph(9)
+        assert eccentricity(g, 4) == 4
+        assert eccentricity(g, 0) == 8
+
+    def test_eccentricity_disconnected_raises(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            eccentricity(g, 0)
+
+
+class TestTreePredicates:
+    def test_trees(self):
+        assert is_tree(path_graph(5))
+        assert is_tree(star_graph(6))
+        assert is_tree(complete_binary_tree(3))
+        assert not is_tree(cycle_graph(5))
+        assert not is_tree(complete_graph(4))
+
+    def test_leaves(self):
+        assert leaves(path_graph(5)).tolist() == [0, 4]
+        assert len(leaves(complete_binary_tree(3))) == 8
+        assert len(leaves(cycle_graph(5))) == 0
+
+    def test_degree_histogram(self):
+        h = degree_histogram(star_graph(6))
+        assert h == {1: 5, 5: 1}
+
+
+class TestNetworkxConversion:
+    def test_roundtrip(self, small_graph):
+        back = from_networkx(to_networkx(small_graph))
+        assert back.n == small_graph.n
+        assert sorted(back.edges()) == sorted(set(small_graph.edges()))
+
+    def test_to_networkx_structure(self):
+        nxg = to_networkx(cycle_graph(7))
+        assert nx.is_connected(nxg)
+        assert nxg.number_of_edges() == 7
+
+    def test_from_networkx_relabels(self):
+        nxg = nx.Graph()
+        nxg.add_edges_from([("c", "a"), ("a", "b")])
+        g = from_networkx(nxg)
+        assert g.n == 3
+        # sorted: a=0, b=1, c=2; edges (0,2) and (0,1)
+        assert g.has_edge(0, 2) and g.has_edge(0, 1)
+
+    def test_from_networkx_rejects_loops(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 0)
+        with pytest.raises(ValueError):
+            from_networkx(nxg)
+
+    def test_degrees_match_networkx(self, small_graph):
+        nxg = to_networkx(small_graph)
+        for v in range(small_graph.n):
+            assert small_graph.degree(v) == nxg.degree(v)

@@ -1,0 +1,145 @@
+"""Integration tests: bound calculators vs measured dispersion times.
+
+Each theorem's inequality is checked on instances small enough for a solid
+Monte-Carlo estimate.  Upper bounds must dominate the measured mean; lower
+bounds must be dominated by it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds import (
+    proposition_3_9_bound,
+    set_hitting_profile,
+    theorem_3_1_threshold,
+    theorem_3_3_bound,
+    theorem_3_5_bound,
+    theorem_3_6_bound,
+    theorem_3_7_tree_bound,
+)
+from repro.core import parallel_idla, sequential_idla
+from repro.graphs import (
+    clique_with_hair,
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+)
+from repro.utils.rng import stable_seed
+
+GRAPHS = [
+    path_graph(16),
+    cycle_graph(16),
+    complete_graph(16),
+    star_graph(16),
+    hypercube_graph(4),
+    complete_binary_tree(3),
+    grid_graph(4, 4),
+]
+
+
+def mean_disp(driver, g, reps=60, tag="", **kw):
+    return float(
+        np.mean(
+            [
+                driver(g, 0, seed=stable_seed("thm", tag, g.name, r), **kw).dispersion_time
+                for r in range(reps)
+            ]
+        )
+    )
+
+
+class TestTheorem31TailAndMean:
+    @pytest.mark.parametrize("g", GRAPHS, ids=lambda g: g.name)
+    def test_mean_below_threshold(self, g):
+        thr = theorem_3_1_threshold(g)
+        for driver, tag in ((sequential_idla, "s"), (parallel_idla, "p")):
+            assert mean_disp(driver, g, reps=40, tag="31" + tag) <= thr
+
+    def test_tail_probability(self):
+        # Pr[τ_par > 6 t_hit log2 n] <= 1/n², so in 100 runs we expect ~0
+        g = cycle_graph(16)
+        thr = theorem_3_1_threshold(g)
+        exceed = sum(
+            parallel_idla(g, 0, seed=stable_seed("31t", r)).dispersion_time > thr
+            for r in range(100)
+        )
+        assert exceed == 0
+
+
+class TestTheorems33And35:
+    @pytest.mark.parametrize(
+        "g", [cycle_graph(12), complete_graph(12), hypercube_graph(3)],
+        ids=lambda g: g.name,
+    )
+    def test_33_dominates_lazy_parallel(self, g):
+        prof = set_hitting_profile(g, method="exact")
+        bound = theorem_3_3_bound(g, 1, profile=prof)
+        measured = mean_disp(parallel_idla, g, reps=40, tag="33", lazy=True)
+        assert measured <= bound
+
+    @pytest.mark.parametrize(
+        "g", [cycle_graph(12), complete_graph(12), hypercube_graph(3)],
+        ids=lambda g: g.name,
+    )
+    def test_35_dominates_lazy_sequential(self, g):
+        prof = set_hitting_profile(g, method="exact")
+        bound = theorem_3_5_bound(g, profile=prof)
+        measured = mean_disp(sequential_idla, g, reps=40, tag="35", lazy=True)
+        assert measured <= bound
+
+
+class TestLowerBoundsVsMeasured:
+    @pytest.mark.parametrize("g", GRAPHS, ids=lambda g: g.name)
+    def test_thm_3_6(self, g):
+        # t_seq(G) >= 2|E|/Δ for the worst-case origin; our fixed origin 0
+        # can only give a larger-or-comparable value on these symmetric
+        # instances.  Allow 20% MC slack.
+        measured = mean_disp(sequential_idla, g, reps=60, tag="36")
+        assert measured >= 0.8 * theorem_3_6_bound(g)
+
+    @pytest.mark.parametrize(
+        "g", [path_graph(16), star_graph(16), complete_binary_tree(3)],
+        ids=lambda g: g.name,
+    )
+    def test_thm_3_7_trees(self, g):
+        measured = mean_disp(sequential_idla, g, reps=80, tag="37")
+        assert measured >= 0.85 * theorem_3_7_tree_bound(g)
+
+    def test_prop_3_9_mixing_lower_bound(self):
+        # t_seq (lazy) = Ω(t_mix): on the cycle t_mix ~ n² and t_seq ~ n² log n
+        g = cycle_graph(16)
+        measured = mean_disp(sequential_idla, g, reps=40, tag="39", lazy=True)
+        assert measured >= proposition_3_9_bound(g)
+
+
+class TestStarVsClique:
+    def test_star_double_clique(self):
+        # remark after Thm 3.7: t_seq(S_n) = 2 t_seq(K_n) (up to 1 + o(1));
+        # both sides are heavy-tailed maxima, so use many reps and a wide
+        # window around 2.
+        n = 64
+        star = mean_disp(sequential_idla, star_graph(n), reps=200, tag="svc-s")
+        cliq = mean_disp(sequential_idla, complete_graph(n), reps=200, tag="svc-c")
+        assert 1.5 < star / cliq < 2.8
+
+
+class TestProposition21NonConcentration:
+    def test_hairy_clique_bimodal(self):
+        n = 48
+        g = clique_with_hair(n)
+        d = np.array(
+            [
+                sequential_idla(g, 0, seed=stable_seed("p21", r)).dispersion_time
+                for r in range(150)
+            ]
+        )
+        # constant fraction of runs finish in O(n) (hair found instantly)
+        frac_fast = (d < 8 * n).mean()
+        # and a constant fraction take Ω(n²)-ish (hair found late)
+        frac_slow = (d > n * n / 8).mean()
+        assert frac_fast > 0.3
+        assert frac_slow > 0.2

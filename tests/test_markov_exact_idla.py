@@ -1,0 +1,130 @@
+"""Tests for the exact Sequential-IDLA dynamic program.
+
+This module is the library's strongest internal oracle: its outputs are
+exact, so the Monte-Carlo drivers must agree with it within sampling
+error — including the Theorem 4.1 statement that *all* schedulers share
+the expected total step count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ctu_idla, parallel_idla, sequential_idla, uniform_idla
+from repro.graphs import complete_graph, cycle_graph, path_graph, star_graph
+from repro.markov import analyze_sequential_idla
+from repro.utils.rng import stable_seed
+
+
+class TestSmallClosedForms:
+    def test_path3_from_end(self):
+        # origin 0 on 0-1-2: particle 1 settles at 1 (1 step).  Particle 2
+        # from 0: absorbed at 2; t(0) = 1 + t(1), t(1) = 1 + t(0)/2 =>
+        # t(0) = 4.  Total = 0 + 1 + 4 = 5.
+        res = analyze_sequential_idla(path_graph(3), origin=0)
+        assert np.isclose(res.expected_total_steps, 5.0)
+        assert np.allclose(res.expected_steps_per_particle, [0, 1, 4])
+
+    def test_path3_from_middle(self):
+        res = analyze_sequential_idla(path_graph(3), origin=1)
+        assert np.isclose(res.expected_total_steps, 4.0)
+
+    def test_complete_graph_coupon_collector(self):
+        # K_n sequential: particle i settles after Geom((n-i)/(n-1)) steps
+        n = 7
+        res = analyze_sequential_idla(complete_graph(n))
+        expected = [0.0] + [(n - 1) / (n - i) for i in range(1, n)]
+        assert np.allclose(res.expected_steps_per_particle, expected)
+
+    def test_star_from_centre(self):
+        # each new particle from the centre settles in exactly one step if
+        # an unoccupied leaf is drawn, else bounces: Geom(free/(n-1)) walks
+        # of length 2 minus 1... simply check particle 1 takes 1 step.
+        res = analyze_sequential_idla(star_graph(5), origin=0)
+        assert np.isclose(res.expected_steps_per_particle[1], 1.0)
+
+    def test_settle_distribution_rows_and_columns(self):
+        g = cycle_graph(6)
+        res = analyze_sequential_idla(g)
+        S = res.settle_distribution
+        assert np.allclose(S.sum(axis=1), 1.0)  # each particle settles
+        assert np.allclose(S.sum(axis=0), 1.0)  # each vertex settled once
+        assert S[0, 0] == 1.0
+
+    def test_cycle_symmetry(self):
+        # settle distribution of particle 1 on a cycle: 1/2 each neighbour
+        res = analyze_sequential_idla(cycle_graph(5))
+        assert np.isclose(res.settle_distribution[1, 1], 0.5)
+        assert np.isclose(res.settle_distribution[1, 4], 0.5)
+
+    def test_lazy_doubles_exactly(self):
+        g = path_graph(5)
+        fast = analyze_sequential_idla(g)
+        slow = analyze_sequential_idla(g, lazy=True)
+        assert np.isclose(
+            slow.expected_total_steps, 2.0 * fast.expected_total_steps, rtol=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_sequential_idla(path_graph(4), origin=9)
+        with pytest.raises(ValueError, match="exponential"):
+            analyze_sequential_idla(cycle_graph(30))
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize(
+        "g", [path_graph(7), cycle_graph(8), complete_graph(7), star_graph(7)],
+        ids=lambda g: g.name,
+    )
+    def test_sequential_driver_matches_exact(self, g):
+        exact = analyze_sequential_idla(g)
+        reps = 600
+        tot = np.array(
+            [
+                sequential_idla(g, 0, seed=stable_seed("exact-s", g.name, r)).total_steps
+                for r in range(reps)
+            ]
+        )
+        sem = tot.std() / np.sqrt(reps)
+        assert abs(tot.mean() - exact.expected_total_steps) < 4 * sem + 0.02
+
+    def test_settle_distribution_matches_simulation(self):
+        g = cycle_graph(6)
+        exact = analyze_sequential_idla(g)
+        reps = 2000
+        counts = np.zeros((6, 6))
+        for r in range(reps):
+            res = sequential_idla(g, 0, seed=stable_seed("exact-d", r))
+            for i, v in enumerate(res.settled_at):
+                counts[i, v] += 1
+        emp = counts / reps
+        assert np.abs(emp - exact.settle_distribution).max() < 0.05
+
+    @pytest.mark.parametrize(
+        "driver",
+        [parallel_idla, uniform_idla, ctu_idla],
+        ids=lambda d: d.__name__,
+    )
+    def test_theorem_4_1_total_steps_all_schedulers(self, driver):
+        """The exact sequential total must match every scheduler's mean
+        total (total steps are equidistributed across protocols)."""
+        g = cycle_graph(8)
+        exact = analyze_sequential_idla(g)
+        reps = 600
+        tot = np.array(
+            [
+                driver(g, 0, seed=stable_seed("exact-t", driver.__name__, r)).total_steps
+                for r in range(reps)
+            ]
+        )
+        sem = tot.std() / np.sqrt(reps)
+        assert abs(tot.mean() - exact.expected_total_steps) < 4 * sem + 0.05
+
+    def test_pruning_approximates(self):
+        g = cycle_graph(10)
+        exact = analyze_sequential_idla(g)
+        pruned = analyze_sequential_idla(g, prune_below=1e-6)
+        assert pruned.num_aggregates <= exact.num_aggregates
+        assert np.isclose(
+            pruned.expected_total_steps, exact.expected_total_steps, rtol=1e-3
+        )

@@ -1,0 +1,97 @@
+"""Tests for the exact Parallel-IDLA analyzer — and through it, *exact*
+verification of Theorem 4.1 on small graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core import parallel_idla
+from repro.graphs import complete_graph, cycle_graph, path_graph, star_graph
+from repro.markov import (
+    analyze_parallel_idla,
+    analyze_sequential_idla,
+    exact_expected_sequential_dispersion,
+)
+from repro.utils.rng import stable_seed
+
+GRAPHS_ORIGINS = [
+    (path_graph(3), 1),
+    (path_graph(4), 0),
+    (cycle_graph(5), 0),
+    (cycle_graph(6), 0),
+    (complete_graph(5), 0),
+    (star_graph(5), 0),
+]
+
+
+class TestClosedForms:
+    def test_path3_middle(self):
+        # round 1 settles one side; w.p. 1/2 the loser sits on an occupied
+        # endpoint and needs the endpoint-to-endpoint hitting time 4:
+        # E[τ_par] = 1 + (1/2)·4 = 3
+        res = analyze_parallel_idla(path_graph(3), 1)
+        assert np.isclose(res.expected_dispersion, 3.0)
+
+    def test_two_vertices(self):
+        from repro.graphs import Graph
+
+        g = Graph.from_edges(2, [(0, 1)])
+        res = analyze_parallel_idla(g, 0)
+        assert np.isclose(res.expected_dispersion, 1.0)
+        assert np.isclose(res.expected_total_steps, 1.0)
+
+    def test_single_vertex(self):
+        from repro.graphs import Graph
+
+        g = Graph(np.array([0, 0]), np.array([], dtype=np.int64))
+        res = analyze_parallel_idla(g, 0)
+        assert res.expected_dispersion == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_parallel_idla(cycle_graph(12))
+        with pytest.raises(ValueError):
+            analyze_parallel_idla(cycle_graph(5), origin=9)
+
+
+class TestTheorem41Exact:
+    @pytest.mark.parametrize("g,o", GRAPHS_ORIGINS, ids=lambda x: getattr(x, "name", x))
+    def test_total_steps_identity_exact(self, g, o):
+        """Two independent exact computations — the parallel joint-chain
+        solve and the sequential aggregate DP — must produce the *same*
+        expected total step count (Theorem 4.1's equidistribution)."""
+        par = analyze_parallel_idla(g, o)
+        seq = analyze_sequential_idla(g, o)
+        assert np.isclose(
+            par.expected_total_steps, seq.expected_total_steps, rtol=1e-9
+        )
+
+    @pytest.mark.parametrize("g,o", GRAPHS_ORIGINS, ids=lambda x: getattr(x, "name", x))
+    def test_domination_exact(self, g, o):
+        """E[τ_seq] ≤ E[τ_par] exactly (tolerance covers the sequential
+        CDF's truncated-tail extrapolation)."""
+        par = analyze_parallel_idla(g, o).expected_dispersion
+        seq = exact_expected_sequential_dispersion(g, o)
+        assert seq <= par + 1e-6
+
+    def test_strict_gap_on_clique(self):
+        # the clique's parallel slowdown is strict already at n = 5
+        par = analyze_parallel_idla(complete_graph(5)).expected_dispersion
+        seq = exact_expected_sequential_dispersion(complete_graph(5))
+        assert par > seq * 1.05
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize(
+        "g", [cycle_graph(6), complete_graph(5), path_graph(4)],
+        ids=lambda g: g.name,
+    )
+    def test_driver_matches_exact(self, g):
+        exact = analyze_parallel_idla(g, 0)
+        reps = 1500
+        disp = np.empty(reps)
+        tot = np.empty(reps)
+        for r in range(reps):
+            res = parallel_idla(g, 0, seed=stable_seed("xp", g.name, r))
+            disp[r], tot[r] = res.dispersion_time, res.total_steps
+        assert abs(disp.mean() - exact.expected_dispersion) < 4 * disp.std() / np.sqrt(reps) + 0.02
+        assert abs(tot.mean() - exact.expected_total_steps) < 4 * tot.std() / np.sqrt(reps) + 0.02

@@ -1,0 +1,202 @@
+"""Tests for set hitting times, mixing times, cover bounds and returns."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+)
+from repro.markov import (
+    expected_visits,
+    harmonic_number,
+    hitting_time,
+    lemma_c1_bound,
+    matthews_lower_bound,
+    matthews_upper_bound,
+    max_hitting_time,
+    max_set_hitting_time,
+    mixing_time,
+    mixing_time_bounds,
+    return_probabilities,
+    set_hitting_time_from,
+    set_hitting_times,
+    stationary_distribution,
+    stationary_set_hitting_time,
+    step_distributions,
+    total_variation_distance,
+    worst_case_tv,
+)
+
+
+class TestSetHitting:
+    def test_singleton_matches_hitting_time(self, small_graph):
+        v = small_graph.n - 1
+        h_set = set_hitting_times(small_graph, [v])
+        for u in range(small_graph.n):
+            assert np.isclose(h_set[u], hitting_time(small_graph, u, v), atol=1e-8)
+
+    def test_zero_on_targets(self, c8):
+        h = set_hitting_times(c8, [1, 5])
+        assert h[1] == 0 and h[5] == 0
+
+    def test_full_set_is_zero(self, c8):
+        assert np.allclose(set_hitting_times(c8, range(8)), 0.0)
+
+    def test_monotone_in_set(self, c8):
+        # adding targets can only reduce hitting times
+        h1 = set_hitting_times(c8, [0])
+        h2 = set_hitting_times(c8, [0, 4])
+        assert np.all(h2 <= h1 + 1e-9)
+
+    def test_cycle_two_targets_gamblers_ruin(self):
+        # on C_6 with targets {0, 3}: from 1, ruin on segment 0-1-2-3 => 1*2=2
+        h = set_hitting_times(cycle_graph(6), [0, 3])
+        assert np.isclose(h[1], 2.0)
+        assert np.isclose(h[2], 2.0)
+
+    def test_from_distribution(self, c8):
+        pi = stationary_distribution(c8)
+        val = set_hitting_time_from(c8, pi, [0])
+        assert np.isclose(val, stationary_set_hitting_time(c8, [0]))
+
+    def test_from_vertex_int(self, c8):
+        assert np.isclose(
+            set_hitting_time_from(c8, 2, [0]), hitting_time(c8, 2, 0)
+        )
+
+    def test_empty_target_rejected(self, c8):
+        with pytest.raises(ValueError):
+            set_hitting_times(c8, [])
+
+    def test_max_set_exhaustive_clusters(self):
+        # t_hit(pi, S) is maximised by a *clustered* pair (adjacent on the
+        # cycle), not a spread-out one — hitting any point of a tight
+        # cluster from stationarity is a single long excursion.
+        g = cycle_graph(8)
+        val, subset = max_set_hitting_time(g, 2, method="exhaustive")
+        d = abs(int(subset[0]) - int(subset[1]))
+        assert min(d, 8 - d) == 1
+        antipodal = stationary_set_hitting_time(g, [0, 4])
+        assert val > antipodal
+
+    def test_max_set_heuristics_lower_bound_exact(self):
+        g = cycle_graph(10)
+        exact, _ = max_set_hitting_time(g, 2, method="exhaustive")
+        greedy, _ = max_set_hitting_time(g, 2, method="greedy")
+        sampled, _ = max_set_hitting_time(g, 2, method="sample", samples=60, seed=0)
+        assert greedy <= exact + 1e-9
+        assert sampled <= exact + 1e-9
+        # the clustering greedy is exact on the vertex-transitive cycle
+        assert np.isclose(greedy, exact)
+
+    def test_max_set_size_validation(self, c8):
+        with pytest.raises(ValueError):
+            max_set_hitting_time(c8, 0)
+        with pytest.raises(ValueError):
+            max_set_hitting_time(c8, 9)
+
+
+class TestMixing:
+    def test_tv_distance_basic(self):
+        assert total_variation_distance([1, 0], [0, 1]) == 1.0
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_tv_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation_distance([1, 0], [1, 0, 0])
+
+    def test_worst_case_tv_decreasing(self, k8):
+        ds = [worst_case_tv(k8, t) for t in range(0, 6)]
+        assert all(a >= b - 1e-12 for a, b in zip(ds, ds[1:]))
+
+    def test_worst_case_tv_t0(self, c8):
+        assert np.isclose(worst_case_tv(c8, 0), 1 - stationary_distribution(c8).max())
+
+    def test_mixing_time_definition(self, c8):
+        t = mixing_time(c8, 0.25)
+        assert worst_case_tv(c8, t) <= 0.25
+        assert worst_case_tv(c8, t - 1) > 0.25
+
+    def test_complete_graph_mixes_fast(self):
+        assert mixing_time(complete_graph(64), lazy=True) <= 3
+
+    def test_cycle_mixing_quadratic(self):
+        t16 = mixing_time(cycle_graph(16))
+        t32 = mixing_time(cycle_graph(32))
+        ratio = t32 / t16
+        assert 3.0 < ratio < 5.5  # ~4 for Theta(n^2)
+
+    def test_nonlazy_bipartite_raises(self):
+        with pytest.raises(RuntimeError):
+            mixing_time(cycle_graph(6), lazy=False, t_max=10_000)
+
+    def test_bounds_sandwich(self, small_graph):
+        lo, hi = mixing_time_bounds(small_graph, 0.25)
+        t = mixing_time(small_graph, 0.25)
+        assert lo <= t + 1  # lower bound (integer slack)
+        assert t <= hi + 1
+
+    def test_mixing_eps_validation(self, c8):
+        with pytest.raises(ValueError):
+            mixing_time(c8, 0.0)
+
+
+class TestCover:
+    def test_harmonic(self):
+        assert harmonic_number(0) == 0.0
+        assert np.isclose(harmonic_number(3), 1 + 0.5 + 1 / 3)
+
+    def test_matthews_upper_complete(self):
+        # K_n cover time = n H_{n-1} exactly; Matthews gives (n-1) H_{n-1}
+        n = 16
+        ub = matthews_upper_bound(complete_graph(n))
+        exact = (n - 1) * harmonic_number(n - 1)
+        assert np.isclose(ub, exact)
+
+    def test_matthews_upper_dominates_lower(self, small_graph):
+        assert matthews_upper_bound(small_graph) >= matthews_lower_bound(small_graph)
+
+    def test_matthews_lower_subset(self):
+        g = path_graph(8)
+        full = matthews_lower_bound(g)
+        ends = matthews_lower_bound(g, subset=[0, 7])
+        assert ends >= full  # endpoints are far apart -> better bound
+
+    def test_matthews_lower_needs_two(self, c8):
+        with pytest.raises(ValueError):
+            matthews_lower_bound(c8, subset=[0])
+
+
+class TestReturns:
+    def test_step_distributions_rows_stochastic(self, c8):
+        D = step_distributions(c8, 0, 5)
+        assert np.allclose(D.sum(axis=1), 1.0)
+        assert D[0, 0] == 1.0
+
+    def test_return_probabilities_cycle_parity(self):
+        p = return_probabilities(cycle_graph(8), 0, 4)
+        assert p[1] == 0.0 and p[3] == 0.0  # odd steps impossible
+        assert p[2] > 0
+
+    def test_expected_visits_additive(self, c8):
+        ev_a = expected_visits(c8, 0, [1], 6)
+        ev_b = expected_visits(c8, 0, [2], 6)
+        ev_ab = expected_visits(c8, 0, [1, 2], 6)
+        assert np.isclose(ev_ab, ev_a + ev_b)
+
+    def test_lemma_c1_dominates_exact(self):
+        # lazy return probability <= bound, checked across several t
+        g = hypercube_graph(3)
+        for t in range(0, 8):
+            exact = step_distributions(g, 0, t, lazy=True)[t, 0]
+            assert exact <= lemma_c1_bound(g, 0, 0, t) + 1e-12
+
+    def test_lemma_c1_cross_pair(self):
+        g = cycle_graph(9)
+        for t in range(0, 10):
+            exact = step_distributions(g, 0, t, lazy=True)[t, 3]
+            assert exact <= lemma_c1_bound(g, 0, 3, t) + 1e-12

@@ -1,0 +1,97 @@
+"""Tests for spectral quantities (eigenvalues, gaps, relaxation times)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    path_graph,
+    random_regular_graph,
+)
+from repro.markov import (
+    conductance_cheeger_bounds,
+    relaxation_time,
+    second_absolute_eigenvalue,
+    second_eigenvalue,
+    spectral_gap,
+    transition_matrix,
+    walk_eigenvalues,
+)
+
+
+class TestEigenvalues:
+    def test_complete_graph_spectrum(self):
+        # K_n walk eigenvalues: 1 and -1/(n-1) (multiplicity n-1)
+        ev = walk_eigenvalues(complete_graph(5))
+        assert np.allclose(ev[-1], 1.0)
+        assert np.allclose(ev[:-1], -0.25)
+
+    def test_cycle_spectrum(self):
+        # C_n: cos(2 pi k / n)
+        n = 8
+        ev = np.sort(walk_eigenvalues(cycle_graph(n)))
+        expected = np.sort([np.cos(2 * np.pi * k / n) for k in range(n)])
+        assert np.allclose(ev, expected, atol=1e-10)
+
+    def test_hypercube_spectrum(self):
+        # Q_d: 1 - 2k/d with multiplicity C(d, k)
+        d = 4
+        ev = np.sort(walk_eigenvalues(hypercube_graph(d)))
+        from math import comb
+
+        expected = np.sort(
+            np.concatenate([[1 - 2 * k / d] * comb(d, k) for k in range(d + 1)])
+        )
+        assert np.allclose(ev, expected, atol=1e-10)
+
+    def test_matches_general_eigensolver(self, small_graph):
+        ev = np.sort(walk_eigenvalues(small_graph))
+        general = np.sort(np.linalg.eigvals(transition_matrix(small_graph)).real)
+        assert np.allclose(ev, general, atol=1e-8)
+
+    def test_lazy_eigenvalues_nonnegative(self, small_graph):
+        ev = walk_eigenvalues(small_graph, lazy=True)
+        assert np.all(ev >= -1e-12)
+        assert np.allclose(ev, (1 + walk_eigenvalues(small_graph)) / 2)
+
+
+class TestGaps:
+    def test_second_eigenvalue_bipartite_absolute(self):
+        # bipartite: lambda_min = -1, so absolute second eigenvalue is 1
+        assert np.isclose(second_absolute_eigenvalue(cycle_graph(6)), 1.0)
+        assert second_eigenvalue(cycle_graph(6)) < 1.0
+
+    def test_lazy_gap_positive(self, small_graph):
+        assert spectral_gap(small_graph, lazy=True) > 0
+
+    def test_relaxation_time_complete(self):
+        # lazy K_n: lambda2 = (1 - 1/(n-1))/2 + 1/2
+        n = 6
+        trel = relaxation_time(complete_graph(n), lazy=True)
+        lam2 = 0.5 + 0.5 * (-1 / (n - 1))
+        lam2 = max(abs(lam2), abs(0.5 + 0.5 * (-1 / (n - 1))))
+        # lazy spectrum: (1 + ev)/2; second largest abs = (1 - 1/(n-1))/2... compute directly
+        ev = walk_eigenvalues(complete_graph(n), lazy=True)
+        expected = 1.0 / (1.0 - max(abs(ev[0]), abs(ev[-2])))
+        assert np.isclose(trel, expected)
+
+    def test_expander_gap_constant(self):
+        g = random_regular_graph(64, 6, seed=3)
+        assert spectral_gap(g, lazy=True) > 0.05
+
+    def test_path_gap_shrinks(self):
+        g1 = spectral_gap(path_graph(8), lazy=True)
+        g2 = spectral_gap(path_graph(32), lazy=True)
+        assert g2 < g1
+
+    def test_cheeger_bracket_valid(self, small_graph):
+        lo, hi = conductance_cheeger_bounds(small_graph)
+        assert 0 <= lo <= hi
+
+    def test_cheeger_complete_graph(self):
+        # K_n conductance is ~1/2 for the lazy walk; bracket must contain
+        # a constant independent of n
+        lo, hi = conductance_cheeger_bounds(complete_graph(16))
+        assert lo > 0.1 and hi < 2.0

@@ -1,0 +1,107 @@
+"""Tests for transition matrices and stationary distributions."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph, star_graph
+from repro.markov import (
+    laziness_matrix,
+    lazy_transition_matrix,
+    sparse_transition_matrix,
+    stationary_distribution,
+    stationary_from_matrix,
+    transition_matrix,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_stochastic(self, small_graph):
+        P = transition_matrix(small_graph)
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert np.all(P >= 0)
+
+    def test_path_values(self):
+        P = transition_matrix(path_graph(3))
+        expected = np.array([[0, 1, 0], [0.5, 0, 0.5], [0, 1, 0]])
+        assert np.allclose(P, expected)
+
+    def test_parallel_edges_weighting(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 1), (0, 2)])
+        P = transition_matrix(g)
+        assert np.isclose(P[0, 1], 2 / 3)
+        assert np.isclose(P[0, 2], 1 / 3)
+
+    def test_self_loop_slots(self):
+        g = cycle_graph(4).with_self_loops()  # lazy graph
+        P = transition_matrix(g)
+        assert np.allclose(np.diag(P), 0.5)
+
+    def test_isolated_vertex_rejected(self):
+        g = Graph(np.array([0, 0, 2, 4]), np.array([2, 2, 1, 1], dtype=np.int64))
+        with pytest.raises(ValueError, match="isolated"):
+            transition_matrix(g)
+
+
+class TestLazyMatrix:
+    def test_lazy_is_half_identity_plus_half_P(self, small_graph):
+        P = transition_matrix(small_graph)
+        L = lazy_transition_matrix(small_graph)
+        assert np.allclose(L, 0.5 * np.eye(small_graph.n) + 0.5 * P)
+
+    def test_laziness_matrix_general(self):
+        P = transition_matrix(cycle_graph(5))
+        L = laziness_matrix(P, 0.25)
+        assert np.allclose(np.diag(L), 0.25)
+        assert np.allclose(L.sum(axis=1), 1.0)
+
+    def test_laziness_rejects_bad_hold(self):
+        P = transition_matrix(cycle_graph(5))
+        with pytest.raises(ValueError):
+            laziness_matrix(P, 1.0)
+
+
+class TestSparse:
+    def test_matches_dense(self, small_graph):
+        S = sparse_transition_matrix(small_graph).toarray()
+        assert np.allclose(S, transition_matrix(small_graph))
+
+    def test_lazy_matches_dense(self, small_graph):
+        S = sparse_transition_matrix(small_graph, lazy=True).toarray()
+        assert np.allclose(S, lazy_transition_matrix(small_graph))
+
+
+class TestStationary:
+    def test_proportional_to_degree(self, small_graph):
+        pi = stationary_distribution(small_graph)
+        deg = small_graph.degrees
+        assert np.allclose(pi, deg / deg.sum())
+
+    def test_is_left_eigenvector(self, small_graph):
+        P = transition_matrix(small_graph)
+        pi = stationary_distribution(small_graph)
+        assert np.allclose(pi @ P, pi, atol=1e-12)
+
+    def test_from_matrix_agrees(self, small_graph):
+        P = transition_matrix(small_graph)
+        pi_exact = stationary_distribution(small_graph)
+        pi_solved = stationary_from_matrix(P)
+        assert np.allclose(pi_solved, pi_exact, atol=1e-8)
+
+    def test_from_matrix_periodic_chain(self):
+        # two-state flip chain is periodic; the direct solve still works
+        P = np.array([[0.0, 1.0], [1.0, 0.0]])
+        pi = stationary_from_matrix(P)
+        assert np.allclose(pi, [0.5, 0.5])
+
+    def test_from_matrix_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            stationary_from_matrix(np.ones((2, 3)))
+
+    def test_uniform_on_regular(self):
+        pi = stationary_distribution(complete_graph(6))
+        assert np.allclose(pi, 1 / 6)
+
+    def test_star_weighted(self):
+        pi = stationary_distribution(star_graph(5))
+        assert np.isclose(pi[0], 0.5)
+        assert np.allclose(pi[1:], 0.125)

@@ -1,0 +1,181 @@
+"""Hypothesis property-based tests on the core data structures.
+
+Strategies generate random small graphs, random walk blocks (by simulating
+the actual processes with a random seed) and random Cut & Paste chains; the
+properties are the paper's structural invariants.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Block,
+    is_valid_parallel_block,
+    is_valid_sequential_block,
+    parallel_idla,
+    parallel_to_sequential,
+    sequential_idla,
+    sequential_to_parallel,
+)
+from repro.graphs import Graph, cycle_graph
+from repro.markov import (
+    hitting_time_matrix,
+    stationary_distribution,
+    transition_matrix,
+    walk_eigenvalues,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def connected_graphs(draw, max_n=10):
+    """Random connected graph: a random spanning tree + random extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    edges = set()
+    # random spanning tree via random attachment
+    for v in range(1, n):
+        u = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.add((u, v))
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph.from_edges(n, edges, name=f"hyp-{n}")
+
+
+@st.composite
+def process_blocks(draw, sequential: bool):
+    g = draw(connected_graphs())
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    origin = draw(st.integers(min_value=0, max_value=g.n - 1))
+    driver = sequential_idla if sequential else parallel_idla
+    res = driver(g, origin, seed=seed, record=True)
+    return g, origin, res.block()
+
+
+# ----------------------------------------------------------------------
+# graph invariants
+# ----------------------------------------------------------------------
+
+
+class TestGraphProperties:
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sum_is_twice_edges(self, g):
+        assert int(g.degrees.sum()) == 2 * g.num_edges
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_stationary_sums_to_one_and_reversible(self, g):
+        pi = stationary_distribution(g)
+        P = transition_matrix(g)
+        assert np.isclose(pi.sum(), 1.0)
+        # detailed balance
+        F = pi[:, None] * P
+        assert np.allclose(F, F.T, atol=1e-12)
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_eigenvalues_in_unit_interval(self, g):
+        ev = walk_eigenvalues(g)
+        assert np.all(ev <= 1.0 + 1e-9) and np.all(ev >= -1.0 - 1e-9)
+        assert np.isclose(ev[-1], 1.0)
+
+    @given(connected_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_hitting_times_satisfy_one_step_recurrence(self, g):
+        H = hitting_time_matrix(g)
+        P = transition_matrix(g)
+        n = g.n
+        # h_v = 1 + sum_u P[w,u] h_u for w != v
+        for v in range(n):
+            h = H[:, v]
+            rec = 1.0 + P @ h
+            mask = np.arange(n) != v
+            assert np.allclose(h[mask], rec[mask], atol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# block / cut & paste invariants
+# ----------------------------------------------------------------------
+
+
+class TestBlockProperties:
+    @given(process_blocks(sequential=True))
+    @settings(max_examples=30, deadline=None)
+    def test_sequential_runs_yield_valid_blocks(self, data):
+        g, origin, block = data
+        assert is_valid_sequential_block(block, g, origin)
+
+    @given(process_blocks(sequential=False))
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_runs_yield_valid_blocks(self, data):
+        g, origin, block = data
+        assert is_valid_parallel_block(block, g, origin)
+
+    @given(process_blocks(sequential=True))
+    @settings(max_examples=30, deadline=None)
+    def test_stp_invariants(self, data):
+        g, origin, block = data
+        out = sequential_to_parallel(block)
+        assert is_valid_parallel_block(out, g, origin)
+        assert out.total_length == block.total_length
+        assert out.visit_multiset() == block.visit_multiset()
+        assert out.max_row_length >= block.max_row_length  # Lemma 4.6
+        # round trip is the identity (bijection, Lemma 4.4 / Remark 4.5)
+        assert parallel_to_sequential(out) == block
+
+    @given(process_blocks(sequential=False))
+    @settings(max_examples=30, deadline=None)
+    def test_pts_invariants(self, data):
+        g, origin, block = data
+        out = parallel_to_sequential(block)
+        assert is_valid_sequential_block(out, g, origin)
+        assert out.total_length == block.total_length
+        assert sequential_to_parallel(out) == block
+
+    @given(
+        process_blocks(sequential=True),
+        st.lists(st.tuples(st.integers(0, 10**6), st.integers(0, 10**6)), max_size=20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_cut_paste_chains_preserve_invariants(self, data, raw_ops):
+        _, _, block = data
+        visits = block.visit_multiset()
+        arcs = block.arc_multiset()
+        total = block.total_length
+        endpoints = sorted(block.endpoints())
+        for a, b in raw_ops:
+            i = a % block.n
+            t = b % (block.row_length(i) + 1)
+            block.cut_paste(i, t)
+            assert block.total_length == total
+            assert block.visit_multiset() == visits
+            assert block.arc_multiset() == arcs
+            assert sorted(block.endpoints()) == endpoints
+            for v in endpoints:
+                assert block.rows[block.endpoint_row(v)][-1] == v
+
+
+class TestProcessProperties:
+    @given(connected_graphs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_every_process_disperses_completely(self, g, seed):
+        for driver in (sequential_idla, parallel_idla):
+            res = driver(g, 0, seed=seed)
+            assert res.is_complete_dispersion()
+            assert res.dispersion_time == res.steps.max()
+
+    @given(connected_graphs(max_n=8), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_block_reconstructs_settlement(self, g, seed):
+        res = sequential_idla(g, 0, seed=seed, record=True)
+        b = res.block()
+        assert b.endpoints() == res.settled_at.tolist()
+        assert b.row_lengths() == res.steps.tolist()
+        assert b.max_row_length == res.dispersion_time

@@ -1,0 +1,95 @@
+"""Tests for the theory layer (Table 1 rows, growth laws, family registry)."""
+
+import math
+
+import pytest
+
+from repro.bounds import KAPPA_CC, PI2_OVER_6
+from repro.theory import FAMILIES, TABLE1, get_family, growth_laws, table1_row
+
+
+class TestGrowthLaws:
+    def test_labels_unique(self):
+        laws = growth_laws()
+        assert len(laws) >= 8
+
+    def test_values(self):
+        laws = growth_laws()
+        assert laws["n"](10) == 10
+        assert laws["n²"](10) == 100
+        assert math.isclose(laws["n log n"](10), 10 * math.log(10))
+        assert math.isclose(laws["n² log n"](10), 100 * math.log(10))
+
+    def test_log_floor_at_small_n(self):
+        # laws clamp log at n=2 to stay positive for fitting
+        assert growth_laws()["log n"](1) > 0
+
+
+class TestTable1:
+    def test_all_paper_rows_present(self):
+        for fam in [
+            "path", "cycle", "grid2d", "torus3d", "hypercube",
+            "binary_tree", "complete", "expander",
+        ]:
+            assert fam in TABLE1
+
+    def test_clique_constants(self):
+        row = table1_row("complete")
+        assert row.seq_constant == KAPPA_CC
+        assert row.par_constant == PI2_OVER_6
+
+    def test_grid2d_gap_encoded(self):
+        row = table1_row("grid2d")
+        assert row.dispersion_upper is not None
+        assert row.dispersion_upper.label == "n log² n"
+        assert row.seq.label == "n log n"
+
+    def test_unknown_row(self):
+        with pytest.raises(KeyError, match="available"):
+            table1_row("petersen")
+
+
+class TestFamilies:
+    def test_all_registered(self):
+        assert {"path", "cycle", "complete", "hypercube", "binary_tree",
+                "grid2d", "torus2d", "torus3d", "expander", "lollipop"} <= set(
+            FAMILIES
+        )
+
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_build_connected_and_snap(self, name):
+        fam = get_family(name)
+        g = fam.build(60, seed=0)
+        assert g.is_connected()
+        assert g.n == fam.snap(60)
+        assert 0 <= fam.worst_origin(g) < g.n
+
+    def test_hypercube_snaps_pow2(self):
+        fam = get_family("hypercube")
+        assert fam.build(100).n == 128
+        assert fam.snap(100) == 128
+
+    def test_binary_tree_snaps(self):
+        fam = get_family("binary_tree")
+        assert fam.build(100).n == 127
+
+    def test_grid_snaps_square(self):
+        fam = get_family("grid2d")
+        assert fam.build(100).n == 100
+        assert fam.build(90).n == 81
+
+    def test_torus3d_snaps_cube(self):
+        assert get_family("torus3d").build(100).n == 125
+
+    def test_expander_even_and_regular(self):
+        g = get_family("expander").build(33, seed=1)
+        assert g.n % 2 == 0
+        assert g.is_regular()
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="available"):
+            get_family("nope")
+
+    def test_expander_deterministic_with_seed(self):
+        fam = get_family("expander")
+        assert fam.build(32, seed=5) == fam.build(32, seed=5)

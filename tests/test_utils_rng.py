@@ -1,0 +1,91 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators, stable_seed
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        g = as_generator(ss)
+        assert isinstance(g, np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+    def test_numpy_integer_accepted(self):
+        g = as_generator(np.int64(5))
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 7)) == 7
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_generators(3, 2)
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_deterministic_given_seed(self):
+        xs = [g.random() for g in spawn_generators(11, 3)]
+        ys = [g.random() for g in spawn_generators(11, 3)]
+        assert xs == ys
+
+    def test_spawn_from_generator(self):
+        base = np.random.default_rng(5)
+        kids = spawn_generators(base, 2)
+        assert len(kids) == 2
+        assert not np.array_equal(kids[0].random(4), kids[1].random(4))
+
+    def test_spawn_from_seed_sequence(self):
+        kids = spawn_generators(np.random.SeedSequence(9), 2)
+        assert len(kids) == 2
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+
+    def test_sensitive_to_parts(self):
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+        assert stable_seed("a", 1) != stable_seed("b", 1)
+
+    def test_order_sensitive(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+    def test_range(self):
+        s = stable_seed("x", 123, "y")
+        assert 0 <= s < 2**63
+
+    def test_no_concat_collision(self):
+        # ("ab", "c") must differ from ("a", "bc") — separator prevents it.
+        assert stable_seed("ab", "c") != stable_seed("a", "bc")
+
+    def test_usable_as_numpy_seed(self):
+        g = np.random.default_rng(stable_seed("exp", 1))
+        assert 0.0 <= g.random() < 1.0

@@ -1,0 +1,96 @@
+"""Tests for repro.utils.validation and repro.utils.timing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    check_fraction,
+    check_index,
+    check_nonnegative,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", bad)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        check_nonnegative("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1e-9)
+
+
+class TestCheckFraction:
+    def test_open_interval(self):
+        check_fraction("p", 0.5)
+        with pytest.raises(ValueError):
+            check_fraction("p", 0.0)
+        with pytest.raises(ValueError):
+            check_fraction("p", 1.0)
+
+    def test_inclusive(self):
+        check_fraction("p", 0.0, inclusive=True)
+        check_fraction("p", 1.0, inclusive=True)
+        with pytest.raises(ValueError):
+            check_fraction("p", 1.0001, inclusive=True)
+
+
+class TestCheckIndex:
+    def test_valid(self):
+        assert check_index("v", 3, 10) == 3
+        assert check_index("v", np.int64(0), 5) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_index("v", 10, 10)
+        with pytest.raises(ValueError):
+            check_index("v", -1, 10)
+
+    def test_non_integer(self):
+        with pytest.raises(ValueError):
+            check_index("v", 1.5, 10)
+
+
+class TestCheckProbabilityVector:
+    def test_valid(self):
+        out = check_probability_vector("pi", [0.25, 0.75])
+        assert out.dtype == np.float64
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_probability_vector("pi", [-0.1, 1.1])
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            check_probability_vector("pi", [0.3, 0.3])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_probability_vector("pi", [[0.5, 0.5]])
+
+
+class TestStopwatch:
+    def test_measures_nonnegative(self):
+        with Stopwatch() as sw:
+            sum(range(100))
+        assert sw.elapsed >= 0.0
+
+    def test_running_state(self):
+        sw = Stopwatch()
+        assert not sw.running()
+        with sw:
+            assert sw.running()
+        assert not sw.running()
