@@ -8,6 +8,12 @@ Drivers::
     ctu_idla(g, origin)             # §4.3, rate-1 exponential clocks
     continuous_sequential_idla(...) # §4.3, Poissonised sequential
 
+batched Monte-Carlo variants (all repetitions advanced in lock-step,
+bit-identical to looping the serial drivers over the same seeds)::
+
+    batched_parallel_idla(g, origin, reps=R)
+    batched_sequential_idla(g, origin, reps=R)
+
 plus the block/Cut & Paste machinery of §4 (``Block``,
 ``sequential_to_parallel``, ``parallel_to_sequential``,
 ``parallel_to_uniform``) and the alternative settling rules of
@@ -26,6 +32,7 @@ from repro.core.algorithms import (
     parallel_to_uniform,
     sequential_to_parallel,
 )
+from repro.core.batched import batched_parallel_idla, batched_sequential_idla
 from repro.core.origins import resolve_origins
 from repro.core.blocks import (
     Block,
@@ -47,6 +54,8 @@ __all__ = [
     "uniform_idla",
     "ctu_idla",
     "continuous_sequential_idla",
+    "batched_parallel_idla",
+    "batched_sequential_idla",
     "Block",
     "is_valid_sequential_block",
     "is_valid_parallel_block",

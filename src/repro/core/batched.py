@@ -1,0 +1,549 @@
+"""Batched cross-repetition dispersion drivers.
+
+Monte-Carlo estimation of ``E[τ]`` repeats one stochastic process ``R``
+times.  The serial runner replays the full per-round NumPy dispatch cost
+``R`` times — on graphs with long settlement tails (the cycle spends
+``Θ(n² log n)`` rounds on a handful of stragglers) that overhead dwarfs
+the useful element work.  The drivers here advance **all repetitions in
+lock-step** instead: one flat state vector concatenates every
+repetition's unsettled particles, one :func:`repro.walks.engine.csr_step`
+gather advances them together, and one lexsort resolves settlement per
+``(repetition, vertex)`` cell.  Per-repetition completion masks drop
+finished repetitions from the flat state, so round ``t`` costs
+``O(live particles at t)`` plus a constant number of NumPy calls — the
+same vectorise-the-outer-loop move the serial engine applies to
+particles, lifted one level up to repetitions.
+
+Bit-identical replay
+--------------------
+Each repetition consumes uniforms from its **own child generator** in
+exactly the order the serial driver would.  NumPy's ``Generator.random``
+produces an identical double stream regardless of how draws are chunked
+(``random(a)`` then ``random(b)`` equals ``random(a + b)`` split), so the
+per-repetition block buffers here replay the serial drivers'
+``random(k)``-per-round / block-buffered-scalar draw patterns double for
+double.  Consequently::
+
+    batched_parallel_idla(g, seeds=seeds) ==
+        [parallel_idla(g, seed=s) for s in seeds]      # bit for bit
+
+including the lazy variants, random tie-breaking, custom origins and the
+``m ≠ n`` particle-count variants (enforced by
+``tests/test_core_batched.py``).  Two serial quirks are reproduced
+deliberately:
+
+* the serial parallel driver's scalar-tail fallback changes the *lazy*
+  draw pattern below ``scalar_threshold`` active particles (two uniforms
+  per particle per round above it, one below); the batched driver tracks
+  a per-repetition wide/narrow mode so the streams stay aligned;
+* settling rules are evaluated only on vacant candidates — identical
+  outcomes for the library's (pure) rules, far fewer Python calls.
+
+``record=True`` and unknown keyword arguments are *not* supported; the
+runner treats that as its cue to fall back to the serial reference path,
+which remains the oracle the batched subsystem is tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.origins import resolve_origins
+from repro.core.results import DispersionResult
+from repro.core.settlement import (
+    instant_settle_chain,
+    select_settlers,
+    settle_vacant_starts,
+)
+from repro.core.stopping_rules import StoppingRule, standard_rule
+from repro.graphs.csr import Graph
+from repro.utils.rng import as_generator, spawn_generators
+from repro.walks.engine import csr_step
+
+__all__ = ["batched_parallel_idla", "batched_sequential_idla", "buffer_doubles"]
+
+#: Minimum per-repetition uniform buffer (doubles); matches the serial
+#: drivers' scalar block size.  The parallel driver enlarges it so one
+#: round's consumption (≤ 2·m doubles per repetition) always fits.
+_BLOCK = 16384
+
+
+def _parallel_block(reps: int, m: int) -> int:
+    """Per-repetition buffer length for the parallel driver.
+
+    One round consumes at most ``2·m + 2`` doubles per repetition, so the
+    block must cover that; above the floor, bigger blocks amortise refill
+    overhead (capped so the whole ``reps × block`` allocation stays modest
+    even at large repetition counts).
+    """
+    return max(2 * m + 2, _BLOCK if reps * 65536 * 8 > 2**28 else 65536)
+
+
+def buffer_doubles(process: str, reps: int, num_particles: int) -> int:
+    """Uniform-buffer doubles a batched run would allocate.
+
+    The single source of truth for buffer sizing — the runner's auto
+    dispatch uses it to decline batching when the allocation would be
+    excessive.
+    """
+    if process == "parallel":
+        return reps * _parallel_block(reps, num_particles)
+    return reps * _BLOCK
+
+
+def _resolve_generators(seeds, seed, reps) -> list[np.random.Generator]:
+    """Normalise the (seeds | seed+reps) repetition-stream specification."""
+    if seeds is not None:
+        gens = [as_generator(s) for s in seeds]
+        if reps is not None and reps != len(gens):
+            raise ValueError(f"reps={reps} does not match len(seeds)={len(gens)}")
+        return gens
+    if reps is None:
+        raise ValueError("either `seeds` or `reps` must be given")
+    if reps < 0:
+        raise ValueError(f"reps must be >= 0, got {reps}")
+    return spawn_generators(seed, reps)
+
+
+# ----------------------------------------------------------------------
+# Parallel-IDLA
+# ----------------------------------------------------------------------
+def batched_parallel_idla(
+    g: Graph,
+    origin=0,
+    *,
+    reps: int | None = None,
+    seeds=None,
+    seed=None,
+    lazy: bool = False,
+    tie_break: str = "index",
+    rule: StoppingRule | None = None,
+    num_particles: int | None = None,
+    scalar_threshold: int = 16,
+    max_rounds: float | None = None,
+) -> list[DispersionResult]:
+    """Run ``R`` independent Parallel-IDLA realisations in lock-step.
+
+    Parameters
+    ----------
+    reps, seeds, seed:
+        Either pass ``seeds`` — one seed/generator per repetition (the
+        runner passes the children of one ``SeedSequence``) — or ``reps``
+        plus an optional parent ``seed`` from which children are spawned
+        exactly like :func:`repro.utils.rng.spawn_generators`.
+    lazy, tie_break, rule, num_particles, scalar_threshold, max_rounds:
+        As in :func:`repro.core.parallel.parallel_idla`; ``rule`` must be
+        a pure predicate (it is evaluated only on vacant candidates).
+
+    Returns
+    -------
+    list[DispersionResult]
+        Entry ``r`` is bit-identical to
+        ``parallel_idla(g, origin, seed=seeds[r], ...)``.
+
+    Examples
+    --------
+    >>> from repro.graphs import cycle_graph
+    >>> batch = batched_parallel_idla(cycle_graph(16), reps=3, seed=7)
+    >>> [r.is_complete_dispersion() for r in batch]
+    [True, True, True]
+    """
+    n = g.n
+    m = n if num_particles is None else int(num_particles)
+    if m < 1:
+        raise ValueError(f"num_particles must be >= 1, got {m}")
+    if tie_break not in ("index", "random"):
+        raise ValueError(f"tie_break must be 'index' or 'random', got {tie_break!r}")
+    gens = _resolve_generators(seeds, seed, reps)
+    R = len(gens)
+    if R == 0:
+        return []
+    use_default_rule = rule is None or rule is standard_rule
+    budget = float("inf") if max_rounds is None else float(max_rounds)
+    process = "parallel-lazy" if lazy else "parallel"
+
+    # ---- per-repetition initial draws, in the serial driver's order.
+    # With the default "index" tie-break the priority of particle p is p
+    # itself, so `pid` doubles as the priority vector and prio2d stays None.
+    arange_m = np.arange(m, dtype=np.int64)
+    starts2d = np.empty((R, m), dtype=np.int64)
+    prio2d = None if tie_break == "index" else np.empty((R, m), dtype=np.int64)
+    for r, gen in enumerate(gens):
+        starts2d[r] = resolve_origins(g, origin, m, gen)
+        if prio2d is not None:
+            # σ(1) = 1 as in the serial driver: particle 0 keeps top priority
+            prio2d[r, 0] = 0
+            prio2d[r, 1:] = 1 + gen.permutation(m - 1)
+
+    occ = np.zeros(R * n, dtype=bool)
+    free = np.full(R, n, dtype=np.int64)
+    steps2d = np.zeros((R, m), dtype=np.int64)
+    settled2d = np.full((R, m), -1, dtype=np.int64)
+    round2d = np.full((R, m), -1, dtype=np.int64)
+    steps2d_flat = steps2d.reshape(-1)
+    settled2d_flat = settled2d.reshape(-1)
+    round2d_flat = round2d.reshape(-1)
+
+    # ---- round 0: per-repetition settlement pass over the starts
+    for r in range(R):
+        occ_r = occ[r * n : (r + 1) * n]
+        prio_r = arange_m if prio2d is None else prio2d[r]
+        winners = settle_vacant_starts(occ_r, starts2d[r], prio_r)
+        if winners.size:
+            occ_r[starts2d[r, winners]] = True
+            free[r] -= winners.size
+            settled2d[r, winners] = starts2d[r, winners]
+            round2d[r, winners] = 0
+
+    # ---- flat lock-step state: all repetitions' unsettled particles,
+    # grouped by repetition, ascending particle index within each group
+    rep_ids, pid = np.nonzero(settled2d < 0)
+    if np.any(free[rep_ids] == 0):
+        # a repetition already complete at round 0 (m > n with covering
+        # starts): its surplus particles performed 0 steps — drop them
+        alive = free[rep_ids] > 0
+        rep_ids, pid = rep_ids[alive], pid[alive]
+    pos = starts2d[rep_ids, pid].copy()
+
+    block = _parallel_block(R, m)
+    buf = np.empty((R, block), dtype=np.float64)
+    for r, gen in enumerate(gens):
+        gen.random(out=buf[r])
+    buf_flat = buf.reshape(-1)
+    bptr = np.zeros(R, dtype=np.int64)
+
+    # per-round flat metadata, recomputed whenever particles leave
+    k = counts = counts_exp = rep_off = prio_flat = bidx = None
+    k_exp = wide_exp = None
+    rounds_buffered = 0
+
+    def buffered_rounds() -> int:
+        """Rounds the repetition buffers can serve before the next refill."""
+        live = counts > 0
+        if not np.any(live):
+            return 1
+        return int(np.min((block - bptr[live]) // counts[live]))
+
+    def rebuild():
+        nonlocal k, counts, counts_exp, rep_off, prio_flat, bidx
+        nonlocal k_exp, wide_exp, rounds_buffered
+        k = np.bincount(rep_ids, minlength=R)
+        if lazy:
+            # the serial driver's wide phase (active > threshold) consumes
+            # 2 uniforms per particle per round, the scalar tail only 1
+            wide = k > scalar_threshold
+            counts = np.where(wide, 2 * k, k)
+            k_exp = k[rep_ids]
+            wide_exp = wide[rep_ids]
+        else:
+            counts = k
+        counts_exp = counts[rep_ids]
+        rep_off = rep_ids * n
+        prio_flat = pid if prio2d is None else prio2d[rep_ids, pid]
+        group_start = (np.cumsum(k) - k)[rep_ids]
+        within = np.arange(rep_ids.size, dtype=np.int64) - group_start
+        bidx = rep_ids * block + bptr[rep_ids] + within
+        rounds_buffered = buffered_rounds()
+
+    def compact(keep, affected):
+        """Drop masked-out particles, fixing only the affected repetitions.
+
+        Incremental replacement for :func:`rebuild` on settlement rounds:
+        per-particle
+        metadata is preserved by the mask for every repetition that lost no
+        particles (a particle's buffer slot ``bidx`` and ``counts_exp``
+        depend only on its repetition's state and its rank *within* that
+        repetition), so only the few repetitions in ``affected`` need their
+        slices rewritten.
+        """
+        nonlocal rep_ids, pid, pos, counts_exp, rep_off, prio_flat, bidx
+        nonlocal k_exp, wide_exp, rounds_buffered
+        rep_ids, pid, pos = rep_ids[keep], pid[keep], pos[keep]
+        counts_exp, rep_off, bidx = counts_exp[keep], rep_off[keep], bidx[keep]
+        prio_flat = pid if prio2d is None else prio_flat[keep]
+        if lazy:
+            k_exp, wide_exp = k_exp[keep], wide_exp[keep]
+        group_start = np.cumsum(k) - k
+        for r in affected:
+            kr = int(k[r])
+            if lazy:
+                wide_r = kr > scalar_threshold
+                counts[r] = 2 * kr if wide_r else kr
+            sl = slice(int(group_start[r]), int(group_start[r]) + kr)
+            counts_exp[sl] = counts[r]
+            bidx[sl] = r * block + bptr[r] + np.arange(kr, dtype=np.int64)
+            if lazy:
+                k_exp[sl] = kr
+                wide_exp[sl] = wide_r
+        rounds_buffered = buffered_rounds()
+
+    def refill():
+        nonlocal rounds_buffered
+        for r in np.flatnonzero(bptr + counts > block):
+            remainder = block - bptr[r]
+            if remainder:
+                buf[r, :remainder] = buf[r, bptr[r] :]
+            gens[r].random(out=buf[r, remainder:])
+            bidx[rep_ids == r] -= bptr[r]
+            bptr[r] = 0
+        rounds_buffered = buffered_rounds()
+
+    rebuild()
+    indptr_g, indices_g, degrees_g = g.indptr, g.indices, g.degrees
+    degm1 = degrees_g - 1
+    degf = degrees_g.astype(np.float64)
+    # regular graphs (most of Table 1): constant degree turns the degree
+    # gathers and the indptr gather into scalar arithmetic — the round
+    # body drops from five random gathers to three
+    regular = n > 0 and int(degrees_g.min()) == int(degrees_g.max())
+    if regular:
+        c_int = int(degrees_g[0])
+        c_float = float(c_int)
+    t = 0
+
+    while rep_ids.size:
+        t += 1
+        if t > budget:
+            raise RuntimeError(f"parallel IDLA exceeded max_rounds={max_rounds}")
+        if rounds_buffered <= 0:
+            refill()
+        rounds_buffered -= 1
+        if lazy:
+            u = buf_flat[bidx]
+            u2 = buf_flat[bidx + np.where(wide_exp, k_exp, 0)]
+            move = u >= 0.5
+            # wide phase: independent step uniform; scalar tail: upper half
+            ustep = np.where(wide_exp, u2, 2.0 * (u - 0.5))
+            new = csr_step(indptr_g, indices_g, degrees_g, pos, ustep)
+            pos = np.where(move, new, pos)
+        elif regular:
+            # uniform rows make indptr[v] == c·v, so only the uniform
+            # lookup, the CSR hop and the occupancy probe remain gathers
+            u = buf_flat[bidx]
+            offsets = (u * c_float).astype(np.int64)
+            np.minimum(offsets, c_int - 1, out=offsets)
+            offsets += pos * c_int
+            pos = indices_g[offsets]
+        else:
+            # csr_step inlined with precomputed float degrees / degrees-1
+            # arrays: the fast path is these seven vector ops plus the
+            # occupancy probe
+            u = buf_flat[bidx]
+            deg = degf[pos]
+            offsets = (u * deg).astype(np.int64)
+            np.minimum(offsets, degm1[pos], out=offsets)
+            pos = indices_g[indptr_g[pos] + offsets]
+        bptr += counts
+        bidx += counts_exp
+        occv = occ[rep_off + pos]
+        if occv.all():
+            continue
+        cand = np.flatnonzero(~occv)
+        if not use_default_rule:
+            allowed = np.fromiter(
+                (bool(rule(t, int(v), True)) for v in pos[cand]),
+                dtype=bool,
+                count=cand.size,
+            )
+            cand = cand[allowed]
+            if cand.size == 0:
+                continue
+        winners = cand[select_settlers(rep_off[cand] + pos[cand], prio_flat[cand])]
+        w_rep, w_pid, w_vert = rep_ids[winners], pid[winners], pos[winners]
+        occ[rep_off[winners] + w_vert] = True
+        w_cell = w_rep * m + w_pid
+        steps2d_flat[w_cell] = t
+        settled2d_flat[w_cell] = w_vert
+        round2d_flat[w_cell] = t
+        w_counts = np.bincount(w_rep, minlength=R)
+        free -= w_counts
+        k -= w_counts  # aliases `counts` in the non-lazy case
+        keep = np.ones(rep_ids.size, dtype=bool)
+        keep[winners] = False
+        if m > n and np.any(free[w_rep] == 0):
+            # repetition complete: surplus particles (m > n) walked until
+            # the last vertex filled — they stop now with t steps each
+            stopped = keep & (free[rep_ids] == 0)
+            if np.any(stopped):
+                steps2d_flat[rep_ids[stopped] * m + pid[stopped]] = t
+                keep[stopped] = False
+                k -= np.bincount(rep_ids[stopped], minlength=R)
+        compact(keep, np.unique(w_rep))
+
+    # ---- per-repetition result assembly
+    results = []
+    for r in range(R):
+        settled = np.flatnonzero(settled2d[r] >= 0)
+        prio_vals = settled if prio2d is None else prio2d[r, settled]
+        order = np.lexsort((prio_vals, round2d[r, settled]))
+        steps_r = steps2d[r].copy()
+        dispersion = int(steps_r[settled].max()) if settled.size else 0
+        results.append(
+            DispersionResult(
+                process=process,
+                graph_name=g.name,
+                n=n,
+                origin=int(starts2d[r, 0]),
+                dispersion_time=dispersion,
+                total_steps=int(steps_r.sum()),
+                steps=steps_r,
+                settled_at=settled2d[r].copy(),
+                settle_order=settled[order],
+                trajectories=None,
+                num_particles=None if m == n else m,
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Sequential-IDLA
+# ----------------------------------------------------------------------
+def batched_sequential_idla(
+    g: Graph,
+    origin=0,
+    *,
+    reps: int | None = None,
+    seeds=None,
+    seed=None,
+    lazy: bool = False,
+    rule: StoppingRule | None = None,
+    num_particles: int | None = None,
+    max_total_steps: float | None = None,
+) -> list[DispersionResult]:
+    """Run ``R`` independent Sequential-IDLA realisations in lock-step.
+
+    Each repetition has exactly one walking particle at a time, so the
+    flat state is one position per live repetition and every tick
+    advances all of them with a single :func:`csr_step`.  Repetition
+    streams, settlement and the instant-settle release chain follow the
+    serial driver exactly — entry ``r`` of the result is bit-identical to
+    ``sequential_idla(g, origin, seed=seeds[r], ...)``.
+
+    Note on throughput: with one particle per repetition the batch width
+    equals the number of *live* repetitions, so the crossover against the
+    serial driver's tuned scalar loop sits near ``reps ≈ 64`` (the
+    runner's auto dispatch accounts for this); the parallel driver, whose
+    batch width is repetitions × active particles, wins much earlier.
+    """
+    n = g.n
+    m = n if num_particles is None else int(num_particles)
+    if not 1 <= m <= n:
+        raise ValueError(
+            f"sequential IDLA needs 1 <= num_particles <= n, got {m} (n={n})"
+        )
+    gens = _resolve_generators(seeds, seed, reps)
+    R = len(gens)
+    if R == 0:
+        return []
+    use_default_rule = rule is None or rule is standard_rule
+    budget = float("inf") if max_total_steps is None else float(max_total_steps)
+    process = "sequential-lazy" if lazy else "sequential"
+
+    starts2d = np.empty((R, m), dtype=np.int64)
+    for r, gen in enumerate(gens):
+        starts2d[r] = resolve_origins(g, origin, m, gen)
+
+    occ = np.zeros(R * n, dtype=bool)
+    steps2d = np.zeros((R, m), dtype=np.int64)
+    settled2d = np.full((R, m), -1, dtype=np.int64)
+    current = np.zeros(R, dtype=np.int64)  # walking particle per repetition
+
+    # release chain from particle 0: instantly settle vacant starts
+    live_list, pos_list = [], []
+    for r in range(R):
+        walker = instant_settle_chain(
+            occ[r * n : (r + 1) * n], starts2d[r], 0, steps2d[r], settled2d[r]
+        )
+        if walker < m:
+            current[r] = walker
+            live_list.append(r)
+            pos_list.append(starts2d[r, walker])
+    live = np.asarray(live_list, dtype=np.int64)
+    pos = np.asarray(pos_list, dtype=np.int64)
+
+    buf = np.empty((R, _BLOCK), dtype=np.float64)
+    for r in live_list:
+        gens[r].random(out=buf[r])
+    buf_flat = buf.reshape(-1)
+    # every live repetition consumes exactly one uniform per tick, so a
+    # single shared cursor serves all buffers
+    cursor = 0
+    base = live * _BLOCK
+    vert_off = live * n
+    pstep = np.zeros(live.size, dtype=np.int64)  # current particle's step count
+    indptr_g, indices_g, degrees_g = g.indptr, g.indices, g.degrees
+    ticks = 0
+
+    while live.size:
+        if cursor == _BLOCK:
+            for r in live:
+                gens[r].random(out=buf[r])
+            cursor = 0
+        u = buf_flat[base + cursor]
+        cursor += 1
+        ticks += 1
+        pstep += 1
+        if ticks > budget:
+            raise RuntimeError(
+                f"sequential IDLA exceeded max_total_steps={max_total_steps}"
+            )
+        if lazy:
+            move = u >= 0.5
+            new = csr_step(indptr_g, indices_g, degrees_g, pos, 2.0 * (u - 0.5))
+            pos = np.where(move, new, pos)
+            settling = move & ~occ[vert_off + pos]
+        else:
+            pos = csr_step(indptr_g, indices_g, degrees_g, pos, u)
+            settling = ~occ[vert_off + pos]
+        if not settling.any():
+            continue
+        idx = np.flatnonzero(settling)
+        if not use_default_rule:
+            idx = idx[
+                [bool(rule(int(pstep[i]), int(pos[i]), True)) for i in idx]
+            ]
+            if idx.size == 0:
+                continue
+        finished = []
+        for i in idx:
+            r, v = int(live[i]), int(pos[i])
+            occ_r = occ[r * n : (r + 1) * n]
+            occ_r[v] = True
+            steps2d[r, current[r]] = pstep[i]
+            settled2d[r, current[r]] = v
+            walker = instant_settle_chain(
+                occ_r, starts2d[r], current[r] + 1, steps2d[r], settled2d[r]
+            )
+            if walker == m:
+                finished.append(i)
+            else:
+                current[r] = walker
+                pos[i] = starts2d[r, walker]
+                pstep[i] = 0
+        if finished:
+            keep = np.ones(live.size, dtype=bool)
+            keep[finished] = False
+            live, pos, pstep = live[keep], pos[keep], pstep[keep]
+            base = live * _BLOCK
+            vert_off = live * n
+
+    results = []
+    for r in range(R):
+        steps_r = steps2d[r].copy()
+        results.append(
+            DispersionResult(
+                process=process,
+                graph_name=g.name,
+                n=n,
+                origin=int(starts2d[r, 0]),
+                dispersion_time=int(steps_r.max()),
+                total_steps=int(steps_r.sum()),
+                steps=steps_r,
+                settled_at=settled2d[r].copy(),
+                settle_order=np.arange(m, dtype=np.int64),
+                trajectories=None,
+                num_particles=None if m == n else m,
+            )
+        )
+    return results

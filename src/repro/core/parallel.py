@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.origins import resolve_origins
 from repro.core.results import DispersionResult
+from repro.core.settlement import select_settlers, settle_vacant_starts
 from repro.core.stopping_rules import StoppingRule, standard_rule
 from repro.graphs.csr import Graph
 from repro.utils.rng import as_generator
@@ -122,14 +123,8 @@ def parallel_idla(
     # best-priority particle standing on it settles (classically this is
     # particle 0 at the origin).
     pos_all = starts.copy()
-    vac0 = ~occupied[pos_all]
-    cand0 = np.flatnonzero(vac0)
-    if cand0.size:
-        order = np.lexsort((priority[cand0], pos_all[cand0]))
-        sv = pos_all[cand0][order]
-        first = np.ones(order.size, dtype=bool)
-        first[1:] = sv[1:] != sv[:-1]
-        winners = cand0[order[first]]
+    winners = settle_vacant_starts(occupied, pos_all, priority)
+    if winners.size:
         occupied[pos_all[winners]] = True
         free_count -= winners.size
         settled_at[winners] = pos_all[winners]
@@ -160,13 +155,8 @@ def parallel_idla(
             vac &= allowed
         cand = np.flatnonzero(vac)
         if cand.size:
-            verts = pos[cand]
-            prio = priority[active[cand]]
-            order = np.lexsort((prio, verts))
-            sv = verts[order]
-            first = np.ones(order.size, dtype=bool)
-            first[1:] = sv[1:] != sv[:-1]
-            winners = cand[order[first]]  # indices into active arrays
+            winners = cand[select_settlers(pos[cand], priority[active[cand]])]
+            # winners are indices into the active arrays
             w_particles = active[winners]
             w_verts = pos[winners]
             occupied[w_verts] = True

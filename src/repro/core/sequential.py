@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.origins import resolve_origins
 from repro.core.results import DispersionResult
+from repro.core.settlement import instant_settle_chain
 from repro.core.stopping_rules import StoppingRule, standard_rule
 from repro.graphs.csr import Graph
 from repro.utils.rng import as_generator
@@ -110,54 +111,62 @@ def sequential_idla(
     budget = float("inf") if max_total_steps is None else float(max_total_steps)
     total = 0
 
-    for particle in range(m):
+    particle = 0
+    while particle < m:
+        # A vacant start settles its particle instantly (time-0 visit) —
+        # this is how the paper's first particle occupies the origin, and
+        # it applies regardless of `rule`, which only governs walking
+        # particles.  The chain releases successors until one has to walk.
+        walker = instant_settle_chain(occupied, starts, particle, steps, settled_at)
+        if record:
+            for settled in range(particle, walker):
+                trajectories.append([int(starts[settled])])
+        if walker == m:
+            break
+        particle = walker
         pos = int(starts[particle])
         t = 0
         traj = [pos] if record else None
-        # A vacant start settles the particle instantly (time-0 visit) —
-        # this is how the paper's first particle occupies the origin, and
-        # it applies regardless of `rule`, which only governs walking
-        # particles.
-        if occupied[pos]:
-            while True:
-                if bi == _BLOCK:
-                    buf = rng.random(_BLOCK)
-                    bi = 0
-                u = buf[bi]
-                bi += 1
-                if lazy:
-                    if u < 0.5:
-                        t += 1  # hold step
-                        total += 1
-                        if record:
-                            traj.append(pos)
-                        if total > budget:
-                            raise RuntimeError(
-                                f"sequential IDLA exceeded max_total_steps="
-                                f"{max_total_steps}"
-                            )
-                        continue
-                    u = 2.0 * (u - 0.5)  # reuse the upper half as a fresh uniform
-                nbrs = adj[pos]
-                pos = nbrs[int(u * len(nbrs))]
-                t += 1
-                total += 1
-                if record:
-                    traj.append(pos)
-                if total > budget:
-                    raise RuntimeError(
-                        f"sequential IDLA exceeded max_total_steps={max_total_steps}"
-                    )
-                if use_default_rule:
-                    if not occupied[pos]:
-                        break
-                elif rule(t, pos, not occupied[pos]) and not occupied[pos]:
+        while True:
+            if bi == _BLOCK:
+                buf = rng.random(_BLOCK)
+                bi = 0
+            u = buf[bi]
+            bi += 1
+            if lazy:
+                if u < 0.5:
+                    t += 1  # hold step
+                    total += 1
+                    if record:
+                        traj.append(pos)
+                    if total > budget:
+                        raise RuntimeError(
+                            f"sequential IDLA exceeded max_total_steps="
+                            f"{max_total_steps}"
+                        )
+                    continue
+                u = 2.0 * (u - 0.5)  # reuse the upper half as a fresh uniform
+            nbrs = adj[pos]
+            pos = nbrs[int(u * len(nbrs))]
+            t += 1
+            total += 1
+            if record:
+                traj.append(pos)
+            if total > budget:
+                raise RuntimeError(
+                    f"sequential IDLA exceeded max_total_steps={max_total_steps}"
+                )
+            if use_default_rule:
+                if not occupied[pos]:
                     break
+            elif rule(t, pos, not occupied[pos]) and not occupied[pos]:
+                break
         occupied[pos] = True
         steps[particle] = t
         settled_at[particle] = pos
         if record:
             trajectories.append(traj)
+        particle += 1
 
     return DispersionResult(
         process="sequential-lazy" if lazy else "sequential",

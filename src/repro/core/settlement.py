@@ -1,0 +1,96 @@
+"""Settlement resolution shared by the dispersion drivers.
+
+Every IDLA variant resolves the same two situations:
+
+* **competition** — several unsettled particles stand on vacant vertices
+  in the same round and, per vertex, the best-priority one settles
+  (:func:`select_settlers`, the lexsort kernel of the Parallel-IDLA round
+  body and its batched cross-repetition generalisation);
+* **vacant starts** — a particle whose *starting* vertex is vacant
+  settles instantly at time 0, regardless of the settling rule
+  (:func:`settle_vacant_starts` for the synchronous round-0 pass,
+  :func:`instant_settle_chain` for the one-at-a-time sequential release).
+
+Keeping these here guarantees the serial drivers in
+:mod:`repro.core.parallel` / :mod:`repro.core.sequential` and the batched
+drivers in :mod:`repro.core.batched` settle identically — a precondition
+for the bit-identical replay the batched subsystem promises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["select_settlers", "settle_vacant_starts", "instant_settle_chain"]
+
+
+def select_settlers(keys: np.ndarray, priority: np.ndarray) -> np.ndarray:
+    """Pick, per key, the candidate with the smallest priority.
+
+    Parameters
+    ----------
+    keys:
+        Integer cell id per candidate — a vertex id in the serial drivers,
+        ``repetition * n + vertex`` in the batched ones (namespacing keeps
+        repetitions from competing with each other).
+    priority:
+        Priority per candidate; the smallest value wins its cell.
+
+    Returns
+    -------
+    Indices into the candidate arrays of the winners, one per distinct
+    key, ordered by key.
+
+    Examples
+    --------
+    >>> select_settlers(np.array([4, 2, 4]), np.array([1, 0, 0])).tolist()
+    [1, 2]
+    """
+    order = np.lexsort((priority, keys))
+    sorted_keys = keys[order]
+    first = np.ones(order.size, dtype=bool)
+    first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    return order[first]
+
+
+def settle_vacant_starts(
+    occupied: np.ndarray, starts: np.ndarray, priority: np.ndarray
+) -> np.ndarray:
+    """Round-0 pass: per vacant start vertex, the best-priority particle wins.
+
+    ``occupied`` is *not* modified — the caller applies the settlement so
+    it can also update its own bookkeeping (free counts, settle order).
+
+    Returns the winning particle indices (empty when every start is
+    already occupied).
+    """
+    candidates = np.flatnonzero(~occupied[starts])
+    if candidates.size == 0:
+        return candidates
+    winners = select_settlers(starts[candidates], priority[candidates])
+    return candidates[winners]
+
+
+def instant_settle_chain(occupied, starts, first: int, steps, settled_at) -> int:
+    """Settle particles ``first, first+1, …`` standing on vacant starts.
+
+    The Sequential-IDLA release rule: a particle whose start vertex is
+    vacant settles instantly (0 steps) and the next particle is released;
+    the chain stops at the first particle that actually has to walk.
+    ``occupied`` (list or bool array), ``steps`` and ``settled_at`` are
+    updated in place.
+
+    Returns the index of the first walking particle, or ``len(starts)``
+    when the chain exhausted all remaining particles.
+    """
+    m = len(starts)
+    p = first
+    while p < m:
+        v = int(starts[p])
+        if occupied[v]:
+            return p
+        occupied[v] = True
+        steps[p] = 0
+        settled_at[p] = v
+        p += 1
+    return m

@@ -3,10 +3,20 @@
 The runner is the single entry point benches and examples use to estimate
 ``E[τ]``.  Repetitions receive independent child generators via
 ``SeedSequence.spawn`` (never a shared stream), so results are identical
-whether repetitions run serially or across worker processes.  Worker-based
-parallelism uses ``concurrent.futures.ProcessPoolExecutor`` (the guides'
-recommended fan-out when mpi4py is unavailable); the default is serial
-because individual runs are already NumPy-wide.
+across the three execution modes:
+
+* **batched** (the default for parallel/sequential) — all repetitions
+  advance in lock-step through the drivers in :mod:`repro.core.batched`,
+  amortising the per-round NumPy dispatch cost across the whole batch;
+* **serial** — one repetition at a time through the classic drivers; the
+  reference oracle the batched drivers are bit-identical to;
+* **process pool** (``n_jobs > 1``) — repetitions fanned out over
+  ``concurrent.futures.ProcessPoolExecutor`` (the guides' recommended
+  fan-out when mpi4py is unavailable).
+
+Because the batched drivers replay the serial uniform streams double for
+double, the estimates are *bit-identical* whichever mode runs — dispatch
+is purely a performance decision (see ``_use_batched``).
 """
 
 from __future__ import annotations
@@ -17,16 +27,28 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.batched import (
+    batched_parallel_idla,
+    batched_sequential_idla,
+    buffer_doubles,
+)
 from repro.core.continuous import continuous_sequential_idla, ctu_idla
 from repro.core.parallel import parallel_idla
 from repro.core.results import DispersionResult
 from repro.core.sequential import sequential_idla
+from repro.core.stopping_rules import DelayedRule, HairRule, StoppingRule
 from repro.core.uniform import uniform_idla
 from repro.experiments.stats import SummaryStats, summarize
 from repro.graphs.csr import Graph
 from repro.utils.rng import spawn_generators, stable_seed
 
-__all__ = ["PROCESS_DRIVERS", "run_process", "DispersionEstimate", "estimate_dispersion"]
+__all__ = [
+    "PROCESS_DRIVERS",
+    "BATCHED_DRIVERS",
+    "run_process",
+    "DispersionEstimate",
+    "estimate_dispersion",
+]
 
 #: Name -> driver mapping used throughout benches and examples.
 PROCESS_DRIVERS: dict[str, Callable[..., DispersionResult]] = {
@@ -36,6 +58,80 @@ PROCESS_DRIVERS: dict[str, Callable[..., DispersionResult]] = {
     "ctu": ctu_idla,
     "c-sequential": continuous_sequential_idla,
 }
+
+#: Name -> lock-step driver for processes with a batched implementation.
+BATCHED_DRIVERS: dict[str, Callable[..., list[DispersionResult]]] = {
+    "sequential": batched_sequential_idla,
+    "parallel": batched_parallel_idla,
+}
+
+#: Keyword arguments each batched driver understands; anything else (e.g.
+#: ``record=True``) routes the estimate through the serial oracle.
+_BATCHED_KWARGS = {
+    "parallel": {
+        "lazy",
+        "tie_break",
+        "rule",
+        "num_particles",
+        "scalar_threshold",
+        "max_rounds",
+    },
+    "sequential": {"lazy", "rule", "num_particles", "max_total_steps"},
+}
+
+#: Below these repetition counts the serial drivers' tuned scalar loops
+#: win; at or above them lock-step batching amortises enough dispatch
+#: overhead to pay off.  Sequential batches one particle per repetition,
+#: so its crossover is much higher than parallel's.
+_BATCHED_MIN_REPS = {"parallel": 4, "sequential": 64}
+
+#: Cap on the batched drivers' per-run uniform-buffer allocation
+#: (doubles, mirroring the block sizing inside core/batched.py): beyond
+#: this the buffers would run to multi-hundred-MB, so auto dispatch
+#: falls back to serial.
+_BATCHED_MAX_BUFFER_DOUBLES = 2**25
+
+#: Settling-rule types known to be pure (stateless) predicates.  The
+#: batched drivers evaluate rules on far fewer (particle, vertex) pairs
+#: than the serial ones — identical outcomes only for pure rules — so
+#: auto dispatch refuses to batch anything it cannot vouch for.
+#: ``batched=True`` is the escape hatch: it trusts the caller's rule to
+#: be pure (the batched drivers document that requirement).
+_PURE_RULE_TYPES = (StoppingRule, HairRule, DelayedRule)
+
+
+def _use_batched(process: str, g: Graph, reps: int, n_jobs: int, kwargs, batched):
+    """Decide whether this estimate runs through the lock-step drivers."""
+    if batched not in (True, False, "auto"):
+        raise ValueError(f"batched must be True, False or 'auto', got {batched!r}")
+    if batched is False or process not in BATCHED_DRIVERS:
+        if batched is True:
+            raise ValueError(f"no batched driver for process {process!r}")
+        return False
+    supported = set(kwargs) <= _BATCHED_KWARGS[process]
+    if batched is True:
+        if n_jobs != 1:
+            raise ValueError("batched=True runs in-process; drop n_jobs or batching")
+        if not supported:
+            unsupported = sorted(set(kwargs) - _BATCHED_KWARGS[process])
+            raise ValueError(
+                f"kwargs {unsupported} not supported by the batched "
+                f"{process} driver; pass batched=False"
+            )
+        return True
+    # batched="auto": purely a performance heuristic — results are
+    # bit-identical either way.
+    if n_jobs != 1 or not supported:
+        return False
+    if reps < _BATCHED_MIN_REPS[process]:
+        return False
+    rule = kwargs.get("rule")
+    if rule is not None and type(rule) not in _PURE_RULE_TYPES:
+        return False
+    m = kwargs.get("num_particles") or g.n
+    if buffer_doubles(process, reps, m) > _BATCHED_MAX_BUFFER_DOUBLES:
+        return False
+    return True
 
 
 def run_process(
@@ -85,6 +181,7 @@ def estimate_dispersion(
     reps: int = 16,
     seed=None,
     n_jobs: int = 1,
+    batched="auto",
     **kwargs,
 ) -> DispersionEstimate:
     """Estimate ``E[τ]`` over ``reps`` independent realisations.
@@ -92,29 +189,48 @@ def estimate_dispersion(
     Parameters
     ----------
     n_jobs:
-        ``1`` (default) runs serially; ``> 1`` fans repetitions out over a
-        process pool.  Seeds are spawned identically in both modes.
+        ``1`` (default) runs in-process; ``> 1`` fans repetitions out over
+        a process pool.  Seeds are spawned identically in all modes.
+    batched:
+        ``"auto"`` (default) routes parallel/sequential estimates through
+        the lock-step drivers of :mod:`repro.core.batched` whenever the
+        repetition count and kwargs make that profitable; ``True`` forces
+        batching (raising if unsupported), ``False`` forces the serial
+        reference path.  Auto dispatch never changes the numbers —
+        batched replay is bit-identical to the serial loop, and rules it
+        cannot prove pure fall back to serial.  ``batched=True`` skips
+        that purity guard and trusts the caller's rule to be stateless.
     kwargs:
         Forwarded to the driver (``lazy=True``, ``rule=…``, …).
 
     Examples
     --------
     >>> from repro.graphs import complete_graph
-    >>> est = estimate_dispersion(complete_graph(32), "parallel", reps=4, seed=0)
+    >>> est = estimate_dispersion(complete_graph(32), "parallel", reps=4,
+    ...                           seed=0, batched=False)
     >>> est.dispersion.n
     4
+    >>> fast = estimate_dispersion(complete_graph(32), "parallel", reps=4,
+    ...                            seed=0, batched=True)
+    >>> bool(np.all(fast.samples == est.samples))
+    True
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
     seeds = spawn_generators(
         seed if seed is not None else stable_seed(g.name, process, origin), reps
     )
-    jobs = [(process, g, origin, s, kwargs) for s in seeds]
-    if n_jobs > 1:
+    if _use_batched(process, g, reps, n_jobs, kwargs, batched):
+        batch = BATCHED_DRIVERS[process](g, origin, seeds=seeds, **kwargs)
+        outcomes = [(float(r.dispersion_time), int(r.total_steps)) for r in batch]
+    elif n_jobs > 1:
+        jobs = [(process, g, origin, s, kwargs) for s in seeds]
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
             outcomes = list(pool.map(_one_run, jobs))
     else:
-        outcomes = [_one_run(j) for j in jobs]
+        outcomes = [
+            _one_run((process, g, origin, s, kwargs)) for s in seeds
+        ]
     disp = np.asarray([o[0] for o in outcomes])
     tot = np.asarray([o[1] for o in outcomes], dtype=np.int64)
     return DispersionEstimate(

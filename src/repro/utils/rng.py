@@ -18,7 +18,7 @@ import numpy as np
 
 SeedLike = "None | int | np.random.SeedSequence | np.random.Generator"
 
-__all__ = ["as_generator", "spawn_generators", "stable_seed"]
+__all__ = ["as_generator", "spawn_seed_sequences", "spawn_generators", "stable_seed"]
 
 
 def as_generator(seed=None) -> np.random.Generator:
@@ -49,12 +49,14 @@ def as_generator(seed=None) -> np.random.Generator:
     )
 
 
-def spawn_generators(seed, n: int) -> list[np.random.Generator]:
-    """Create ``n`` statistically independent child generators.
+def spawn_seed_sequences(seed, n: int) -> list[np.random.SeedSequence]:
+    """Spawn ``n`` independent child ``SeedSequence`` objects.
 
-    Uses ``SeedSequence.spawn`` under the hood, which guarantees
-    non-overlapping streams — the recommended pattern for parallel Monte
-    Carlo (one child per worker / repetition).
+    The single source of child streams for Monte-Carlo fan-out: the serial
+    runner, the process-pool runner and the batched cross-repetition
+    drivers all derive repetition ``r``'s stream from child ``r`` of the
+    same parent, so the three execution modes are bit-identical (the
+    equivalence tests in ``tests/test_core_batched.py`` rely on this).
 
     Parameters
     ----------
@@ -76,7 +78,17 @@ def spawn_generators(seed, n: int) -> list[np.random.Generator]:
         ss = seed
     else:
         ss = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in ss.spawn(n)]
+    return ss.spawn(n)
+
+
+def spawn_generators(seed, n: int) -> list[np.random.Generator]:
+    """Create ``n`` statistically independent child generators.
+
+    Uses ``SeedSequence.spawn`` (via :func:`spawn_seed_sequences`) under
+    the hood, which guarantees non-overlapping streams — the recommended
+    pattern for parallel Monte Carlo (one child per worker / repetition).
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, n)]
 
 
 def stable_seed(*parts) -> int:

@@ -17,7 +17,34 @@ import numpy as np
 from repro.graphs.csr import Graph
 from repro.utils.rng import as_generator
 
-__all__ = ["WalkEngine"]
+__all__ = ["WalkEngine", "csr_step"]
+
+
+def csr_step(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+    positions: np.ndarray,
+    u: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """One simple-random-walk step for a flat position vector.
+
+    The library's innermost kernel: three CSR gathers driven by one
+    pre-drawn uniform per walker (``u`` and ``positions`` must have the
+    same 1-D shape).  Shared by :class:`WalkEngine` and the batched
+    cross-repetition drivers in :mod:`repro.core.batched`, which assemble
+    ``u`` from per-repetition streams.
+    """
+    deg = degrees[positions]
+    offsets = (u * deg).astype(np.int64)
+    # floating-point guard: u < 1 ensures offsets < deg, but be explicit
+    np.minimum(offsets, deg - 1, out=offsets)
+    flat = indptr[positions] + offsets
+    if out is None:
+        return indices[flat]
+    np.take(indices, flat, out=out)
+    return out
 
 
 class WalkEngine:
@@ -57,15 +84,72 @@ class WalkEngine:
         updates (aliasing is safe: all reads happen before the write).
         """
         u = self.rng.random(positions.shape[0])
-        deg = self._degrees[positions]
-        offsets = (u * deg).astype(np.int64)
-        # floating-point guard: u < 1 ensures offsets < deg, but be explicit
-        np.minimum(offsets, deg - 1, out=offsets)
-        flat = self._indptr[positions] + offsets
-        if out is None:
-            return self._indices[flat]
-        np.take(self._indices, flat, out=out)
-        return out
+        return csr_step(self._indptr, self._indices, self._degrees, positions, u, out)
+
+    def step_batch(
+        self,
+        positions: np.ndarray,
+        out: np.ndarray | None = None,
+        u: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Advance an ``(R, k)`` array of walker positions one step each.
+
+        Rows are independent walker sets (e.g. one Monte-Carlo repetition
+        per row); the whole batch advances in one set of CSR gathers —
+        the vectorise-the-outer-loop move the batched drivers build on.
+
+        Parameters
+        ----------
+        positions:
+            Integer array of any shape (typically ``(R, k)``); not
+            modified unless ``out=positions``.
+        out:
+            Optional C-contiguous output buffer of the same shape
+            (aliasing with ``positions`` is safe).
+        u:
+            Optional pre-drawn uniforms in ``[0, 1)`` of the same shape.
+            By default they are drawn row-major from the engine's own
+            generator; the batched drivers pass per-repetition streams
+            here instead.
+
+        Examples
+        --------
+        >>> from repro.graphs import cycle_graph
+        >>> eng = WalkEngine(cycle_graph(8), seed=0)
+        >>> pos = np.zeros((4, 5), dtype=np.int64)
+        >>> new = eng.step_batch(pos)
+        >>> new.shape
+        (4, 5)
+        >>> bool(np.all((new == 1) | (new == 7)))
+        True
+        """
+        positions = np.asarray(positions)
+        if u is None:
+            u = self.rng.random(positions.shape)
+        else:
+            u = np.asarray(u)
+            if u.shape != positions.shape:
+                raise ValueError(
+                    f"u must match positions shape {positions.shape}, got {u.shape}"
+                )
+        flat_out = None
+        if out is not None:
+            if out.shape != positions.shape:
+                raise ValueError(
+                    f"out must match positions shape {positions.shape}, got {out.shape}"
+                )
+            if not out.flags.c_contiguous:
+                raise ValueError("out must be C-contiguous")
+            flat_out = out.reshape(-1)
+        result = csr_step(
+            self._indptr,
+            self._indices,
+            self._degrees,
+            positions.reshape(-1),
+            np.ascontiguousarray(u).reshape(-1),
+            flat_out,
+        )
+        return out if out is not None else result.reshape(positions.shape)
 
     def step_lazy(
         self,
