@@ -7,7 +7,6 @@ sequential one against the *exact* coupon-collector maximum
 (:func:`repro.bounds.expected_max_geometric_sum`).
 """
 
-import numpy as np
 
 from _common import emit, run_once
 from repro.bounds import KAPPA_CC, PI2_OVER_6, expected_max_geometric_sum

@@ -14,7 +14,6 @@ Run:  python examples/shape_theorem.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core import (
     aggregate_after,

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from repro.graphs.csr import Graph
 from repro.graphs.properties import is_tree

@@ -13,7 +13,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.bounds.sets import lemma_c2_bound
 from repro.graphs.csr import Graph

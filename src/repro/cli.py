@@ -30,7 +30,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 

@@ -13,6 +13,9 @@ bit-identical to looping the serial drivers over the same seeds)::
 
     batched_parallel_idla(g, origin, reps=R)
     batched_sequential_idla(g, origin, reps=R)
+    batched_uniform_idla(g, origin, reps=R)
+    batched_ctu_idla(g, origin, reps=R)
+    batched_continuous_sequential_idla(g, origin, reps=R)
 
 plus the block/Cut & Paste machinery of §4 (``Block``,
 ``sequential_to_parallel``, ``parallel_to_sequential``,
@@ -33,6 +36,11 @@ from repro.core.algorithms import (
     sequential_to_parallel,
 )
 from repro.core.batched import batched_parallel_idla, batched_sequential_idla
+from repro.core.batched_continuous import (
+    batched_continuous_sequential_idla,
+    batched_ctu_idla,
+    batched_uniform_idla,
+)
 from repro.core.origins import resolve_origins
 from repro.core.blocks import (
     Block,
@@ -56,6 +64,9 @@ __all__ = [
     "continuous_sequential_idla",
     "batched_parallel_idla",
     "batched_sequential_idla",
+    "batched_ctu_idla",
+    "batched_uniform_idla",
+    "batched_continuous_sequential_idla",
     "Block",
     "is_valid_sequential_block",
     "is_valid_parallel_block",

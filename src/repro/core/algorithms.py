@@ -29,7 +29,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.core.blocks import Block
 

@@ -84,10 +84,16 @@ def buffer_doubles(process: str, reps: int, num_particles: int) -> int:
 
     The single source of truth for buffer sizing — the runner's auto
     dispatch uses it to decline batching when the allocation would be
-    excessive.
+    excessive.  Covers the continuous/uniform drivers of
+    :mod:`repro.core.batched_continuous` too (one lane per repetition,
+    one fixed-size buffer row each).
     """
     if process == "parallel":
         return reps * _parallel_block(reps, num_particles)
+    if process in ("ctu", "uniform"):
+        from repro.core.batched_continuous import _BLOCK as _CONT_BLOCK
+
+        return reps * _CONT_BLOCK
     return reps * _BLOCK
 
 

@@ -1,0 +1,505 @@
+"""Batched cross-repetition drivers for the continuous-time/uniform family.
+
+:mod:`repro.core.batched` vectorises the outer Monte-Carlo loop of the
+*synchronous* processes, whose batch width is repetitions × active
+particles.  The tick-scheduled processes here — Uniform-IDLA, CTU-IDLA
+and Poissonised Sequential-IDLA — advance exactly **one particle per
+repetition per tick**, so the lock-step state is one lane per live
+repetition: one scheduler pick, one walk step and one occupancy probe
+serve the whole batch, amortising the per-tick interpreter/dispatch cost
+the serial drivers pay once per ring.
+
+Bit-identical replay
+--------------------
+The serial drivers (:mod:`repro.core.uniform`,
+:mod:`repro.core.continuous`) consume *nothing but uniform doubles* from
+a block-buffered :class:`repro.utils.rng.UniformStream` — exponential
+clocks, geometric skips and scheduler picks are inverse-CDF transforms of
+that one stream (see the "draw contract" in their module docstrings).
+NumPy double streams are chunk-invariant (``random(a)`` then ``random(b)``
+equals ``random(a + b)`` split), so the per-repetition buffers here can
+be refilled on any schedule whatsoever: only the consumption *order*
+matters, and every tick consumes each live repetition's doubles in the
+serial order.  The transforms use the same NumPy ufuncs (``np.log1p`` is
+elementwise-deterministic across array shapes and strides but *not*
+bit-identical to ``math.log1p`` — hence the shared log lane in
+``UniformStream``), the same truncations and the same division operand
+order, making every result field bit-identical::
+
+    batched_ctu_idla(g, seeds=seeds) ==
+        [ctu_idla(g, seed=s) for s in seeds]           # bit for bit
+
+and likewise for ``batched_uniform_idla`` (default scheduler mode) and
+``batched_continuous_sequential_idla`` — enforced by
+``tests/test_core_batched_continuous.py``.  Time-0 settlement and the
+scheduler's swap-remove pool go through the shared helpers in
+:mod:`repro.core.settlement` so both execution modes resolve them
+identically by construction.
+
+``record=True`` and ``faithful_r=True`` are *not* supported; the runner
+treats those as its cue to fall back to the serial reference path, which
+remains the oracle the batched subsystem is tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batched import _resolve_generators
+from repro.core.origins import resolve_origins
+from repro.core.results import DispersionResult
+from repro.core.sequential import _BLOCK as _SEQ_BLOCK
+from repro.core.settlement import settle_vacant_starts_inorder
+from repro.graphs.csr import Graph
+from repro.walks.continuous import poissonise_steps
+
+__all__ = [
+    "batched_ctu_idla",
+    "batched_uniform_idla",
+    "batched_continuous_sequential_idla",
+]
+
+#: Per-repetition uniform buffer (doubles).  Any value >= 3 (one tick's
+#: worst-case consumption) yields the same results — chunk-invariance of
+#: the double stream is exactly what the equivalence tests vary this for.
+_BLOCK = 3 * 4096
+
+
+def _init_lanes(R, n, m, starts2d, occ, settledflat, unsflat, orders):
+    """Time-0 settlement for every repetition, via the shared in-order helper.
+
+    Fills each repetition's pool row in ``unsflat`` and returns the live
+    lanes (repetitions with unsettled particles) and their pool sizes.
+    """
+    lanes_list, k_list = [], []
+    for r in range(R):
+        uns = settle_vacant_starts_inorder(
+            occ[r * n : (r + 1) * n],
+            starts2d[r],
+            settledflat[r * m : (r + 1) * m],
+            orders[r],
+        )
+        if uns:
+            unsflat[r * m : r * m + len(uns)] = uns
+            lanes_list.append(r)
+            k_list.append(len(uns))
+    return lanes_list, k_list
+
+
+def _make_stepper(g: Graph):
+    """One-walk-step kernel ``(positions, u) -> new positions``.
+
+    The inlined :func:`repro.walks.engine.csr_step` with precomputed
+    degree arrays; regular graphs (most of Table 1) reduce the indptr and
+    degree gathers to scalar arithmetic.
+    """
+    indptr, indices, degrees = g.indptr, g.indices, g.degrees
+    if g.n > 0 and int(degrees.min()) == int(degrees.max()):
+        c_int = int(degrees[0])
+        c_float = float(c_int)
+
+        def step(pos, u):
+            off = (u * c_float).astype(np.int64)
+            np.minimum(off, c_int - 1, out=off)
+            off += pos * c_int
+            return indices[off]
+
+        return step
+
+    degf = degrees.astype(np.float64)
+    degm1 = degrees - 1
+
+    def step(pos, u):
+        off = (u * degf[pos]).astype(np.int64)
+        np.minimum(off, degm1[pos], out=off)
+        return indices[indptr[pos] + off]
+
+    return step
+
+
+# ----------------------------------------------------------------------
+# CTU-IDLA
+# ----------------------------------------------------------------------
+def batched_ctu_idla(
+    g: Graph,
+    origin=0,
+    *,
+    reps: int | None = None,
+    seeds=None,
+    seed=None,
+    rate: float = 1.0,
+    num_particles: int | None = None,
+) -> list[DispersionResult]:
+    """Run ``R`` independent CTU-IDLA realisations in lock-step.
+
+    Parameters
+    ----------
+    reps, seeds, seed:
+        Either pass ``seeds`` — one seed/generator per repetition (the
+        runner passes the children of one ``SeedSequence``) — or ``reps``
+        plus an optional parent ``seed``, spawned exactly like
+        :func:`repro.utils.rng.spawn_generators`.
+    rate, num_particles:
+        As in :func:`repro.core.continuous.ctu_idla`.
+
+    Returns
+    -------
+    list[DispersionResult]
+        Entry ``r`` is bit-identical to
+        ``ctu_idla(g, origin, seed=seeds[r], ...)``, including the
+        ``settle_clock`` extra attribute.
+
+    Examples
+    --------
+    >>> from repro.graphs import complete_graph
+    >>> batch = batched_ctu_idla(complete_graph(16), reps=3, seed=7)
+    >>> [r.is_complete_dispersion() for r in batch]
+    [True, True, True]
+    """
+    n = g.n
+    m = n if num_particles is None else int(num_particles)
+    if not 1 <= m <= n:
+        raise ValueError(
+            f"CTU IDLA needs 1 <= num_particles <= n, got {m} (n={n})"
+        )
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    gens = _resolve_generators(seeds, seed, reps)
+    R = len(gens)
+    if R == 0:
+        return []
+
+    starts2d = np.empty((R, m), dtype=np.int64)
+    for r, gen in enumerate(gens):
+        starts2d[r] = resolve_origins(g, origin, m, gen)
+
+    occ = np.zeros(R * n, dtype=bool)
+    posflat = starts2d.reshape(-1).copy()
+    stepsflat = np.zeros(R * m, dtype=np.int64)
+    settledflat = np.full(R * m, -1, dtype=np.int64)
+    settle_clock = np.zeros(R * m, dtype=np.float64)
+    orders: list[list[int]] = [[] for _ in range(R)]
+    final_clock = np.zeros(R, dtype=np.float64)
+    unsflat = np.empty(R * m, dtype=np.int64)
+
+    lanes_list, k_list = _init_lanes(
+        R, n, m, starts2d, occ, settledflat, unsflat, orders
+    )
+
+    # ---- per-lane compact state (one lane per live repetition)
+    lanes = np.asarray(lanes_list, dtype=np.int64)
+    kL = np.asarray(k_list, dtype=np.int64)
+    kfL = kL.astype(np.float64)
+    km1L = kL - 1
+    denomL = kfL * rate
+    clockL = np.zeros(lanes.size, dtype=np.float64)
+    laneM = lanes * m
+    laneN = lanes * n
+
+    buf = np.empty((R, _BLOCK), dtype=np.float64)
+    cursor = _BLOCK  # forces the initial fill
+    step = _make_stepper(g)
+
+    # Every live lane consumes exactly 3 doubles per tick and all lanes
+    # join at tick 0, so one shared cursor serves every buffer row; the
+    # remainder copy keeps already-drawn doubles when a tick straddles a
+    # refill (the serial stream has no block boundaries to respect).
+    while lanes.size:
+        if cursor + 3 > _BLOCK:
+            rem = _BLOCK - cursor
+            for r in lanes.tolist():
+                if rem:
+                    buf[r, :rem] = buf[r, cursor:]
+                gens[r].random(out=buf[r, rem:])
+            cursor = 0
+        u3 = buf[lanes, cursor : cursor + 3]
+        cursor += 3
+        # exponential clock by inversion: clock += -log1p(-u) / (k·rate)
+        dt = np.log1p(-u3[:, 0])
+        np.negative(dt, out=dt)
+        dt /= denomL
+        clockL += dt
+        # ringer: uniform slot of the unsettled pool
+        i = (u3[:, 1] * kfL).astype(np.int64)
+        np.minimum(i, km1L, out=i)
+        p = unsflat[laneM + i]
+        cell = laneM + p
+        vnew = step(posflat[cell], u3[:, 2])
+        posflat[cell] = vnew
+        stepsflat[cell] += 1
+        occv = occ[laneN + vnew]
+        if occv.all():
+            continue
+        finished = False
+        for li in np.flatnonzero(~occv).tolist():
+            r = int(lanes[li])
+            pp = int(p[li])
+            occ[r * n + int(vnew[li])] = True
+            cellr = r * m + pp
+            settledflat[cellr] = vnew[li]
+            settle_clock[cellr] = clockL[li]
+            orders[r].append(pp)
+            kk = int(kL[li]) - 1
+            # swap-remove, as UnsettledPool does in the serial driver
+            unsflat[r * m + int(i[li])] = unsflat[r * m + kk]
+            kL[li] = kk
+            if kk:
+                kfL[li] = kk
+                km1L[li] = kk - 1
+                denomL[li] = float(kk) * rate
+            else:
+                final_clock[r] = clockL[li]
+                finished = True
+        if finished:
+            keep = kL > 0
+            lanes, kL, kfL = lanes[keep], kL[keep], kfL[keep]
+            km1L, denomL, clockL = km1L[keep], denomL[keep], clockL[keep]
+            laneM, laneN = laneM[keep], laneN[keep]
+
+    # ---- per-repetition result assembly
+    results = []
+    for r in range(R):
+        row = slice(r * m, (r + 1) * m)
+        steps_r = stepsflat[row].copy()
+        result = DispersionResult(
+            process="ctu",
+            graph_name=g.name,
+            n=n,
+            origin=int(starts2d[r, 0]),
+            dispersion_time=float(final_clock[r]),
+            total_steps=int(steps_r.sum()),
+            steps=steps_r,
+            settled_at=settledflat[row].copy(),
+            settle_order=np.asarray(orders[r], dtype=np.int64),
+            ticks=float(final_clock[r]),
+            trajectories=None,
+            num_particles=None if m == n else m,
+        )
+        object.__setattr__(result, "settle_clock", settle_clock[row].copy())
+        results.append(result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Uniform-IDLA
+# ----------------------------------------------------------------------
+def batched_uniform_idla(
+    g: Graph,
+    origin=0,
+    *,
+    reps: int | None = None,
+    seeds=None,
+    seed=None,
+    num_particles: int | None = None,
+    max_ticks: float | None = None,
+) -> list[DispersionResult]:
+    """Run ``R`` independent Uniform-IDLA realisations in lock-step.
+
+    The default (geometric-skip) scheduler mode only; ``faithful_r=True``
+    stays on the serial path.  Entry ``r`` of the result is bit-identical
+    to ``uniform_idla(g, origin, seed=seeds[r], ...)``, including the
+    wasted-tick clock in ``result.ticks``.
+
+    Unlike the CTU driver, per-tick consumption varies per lane (2
+    doubles, or 3 while ``k < m-1`` adds the geometric skip draw), so each
+    lane keeps its own buffer pointer; a conservative shared countdown
+    batches the refill checks.
+    """
+    n = g.n
+    m = n if num_particles is None else int(num_particles)
+    if not 1 <= m <= n:
+        raise ValueError(
+            f"uniform IDLA needs 1 <= num_particles <= n, got {m} (n={n})"
+        )
+    gens = _resolve_generators(seeds, seed, reps)
+    R = len(gens)
+    if R == 0:
+        return []
+    budget = float("inf") if max_ticks is None else float(max_ticks)
+    check_budget = max_ticks is not None
+
+    starts2d = np.empty((R, m), dtype=np.int64)
+    for r, gen in enumerate(gens):
+        starts2d[r] = resolve_origins(g, origin, m, gen)
+
+    occ = np.zeros(R * n, dtype=bool)
+    posflat = starts2d.reshape(-1).copy()
+    stepsflat = np.zeros(R * m, dtype=np.int64)
+    settledflat = np.full(R * m, -1, dtype=np.int64)
+    orders: list[list[int]] = [[] for _ in range(R)]
+    final_ticks = np.zeros(R, dtype=np.int64)
+    unsflat = np.empty(R * m, dtype=np.int64)
+
+    lanes_list, k_list = _init_lanes(
+        R, n, m, starts2d, occ, settledflat, unsflat, orders
+    )
+
+    pool_size = max(m - 1, 1)
+
+    def logq_for(k: int) -> float:
+        # same scalar np.log1p computation as the serial driver's cache;
+        # -inf parks lanes with k == pool_size (ratio 0, masked anyway)
+        if k < pool_size:
+            return float(np.log1p(-(k / pool_size)))
+        return float("-inf")
+
+    lanes = np.asarray(lanes_list, dtype=np.int64)
+    kL = np.asarray(k_list, dtype=np.int64)
+    kfL = kL.astype(np.float64)
+    km1L = kL - 1
+    logqL = np.asarray([logq_for(int(k)) for k in kL], dtype=np.float64)
+    ticksL = np.zeros(lanes.size, dtype=np.int64)
+    laneM = lanes * m
+    laneN = lanes * n
+    laneB = lanes * _BLOCK
+
+    buf = np.empty((R, _BLOCK), dtype=np.float64)
+    for r in lanes_list:
+        gens[r].random(out=buf[r])
+    bufflat = buf.reshape(-1)
+    bptrL = np.zeros(lanes.size, dtype=np.int64)
+    refill_countdown = _BLOCK // 3
+    step = _make_stepper(g)
+
+    while lanes.size:
+        if refill_countdown <= 0:
+            for li in np.flatnonzero(bptrL + 3 > _BLOCK).tolist():
+                r = int(lanes[li])
+                bp = int(bptrL[li])
+                rem = _BLOCK - bp
+                if rem:
+                    buf[r, :rem] = buf[r, bp:]
+                gens[r].random(out=buf[r, rem:])
+                bptrL[li] = 0
+            # conservative: assumes every lane consumes 3 per tick, and
+            # stays a valid lower bound across lane compactions
+            refill_countdown = int(((_BLOCK - bptrL) // 3).min())
+        refill_countdown -= 1
+        base = laneB + bptrL
+        # geometric skip draw, consumed only by lanes with k < pool_size
+        skip = (kL < pool_size).astype(np.int64)
+        lv = np.log1p(-bufflat[base])
+        extra = (lv / logqL).astype(np.int64)
+        extra *= skip
+        ticksL += 1
+        if check_budget and (ticksL > budget).any():
+            raise RuntimeError(f"uniform IDLA exceeded max_ticks={max_ticks}")
+        ticksL += extra
+        if check_budget and (ticksL > budget).any():
+            raise RuntimeError(f"uniform IDLA exceeded max_ticks={max_ticks}")
+        # scheduler pick + walk step
+        sidx = base + skip
+        i = (bufflat[sidx] * kfL).astype(np.int64)
+        np.minimum(i, km1L, out=i)
+        p = unsflat[laneM + i]
+        cell = laneM + p
+        vnew = step(posflat[cell], bufflat[sidx + 1])
+        posflat[cell] = vnew
+        stepsflat[cell] += 1
+        bptrL += skip
+        bptrL += 2
+        occv = occ[laneN + vnew]
+        if occv.all():
+            continue
+        finished = False
+        for li in np.flatnonzero(~occv).tolist():
+            r = int(lanes[li])
+            pp = int(p[li])
+            occ[r * n + int(vnew[li])] = True
+            settledflat[r * m + pp] = vnew[li]
+            orders[r].append(pp)
+            kk = int(kL[li]) - 1
+            unsflat[r * m + int(i[li])] = unsflat[r * m + kk]
+            kL[li] = kk
+            if kk:
+                kfL[li] = kk
+                km1L[li] = kk - 1
+                logqL[li] = logq_for(kk)
+            else:
+                final_ticks[r] = ticksL[li]
+                finished = True
+        if finished:
+            keep = kL > 0
+            lanes, kL, kfL, km1L = lanes[keep], kL[keep], kfL[keep], km1L[keep]
+            logqL, ticksL, bptrL = logqL[keep], ticksL[keep], bptrL[keep]
+            laneM, laneN, laneB = laneM[keep], laneN[keep], laneB[keep]
+
+    results = []
+    for r in range(R):
+        row = slice(r * m, (r + 1) * m)
+        steps_r = stepsflat[row].copy()
+        results.append(
+            DispersionResult(
+                process="uniform",
+                graph_name=g.name,
+                n=n,
+                origin=int(starts2d[r, 0]),
+                dispersion_time=int(steps_r.max()),
+                total_steps=int(steps_r.sum()),
+                steps=steps_r,
+                settled_at=settledflat[row].copy(),
+                settle_order=np.asarray(orders[r], dtype=np.int64),
+                ticks=float(final_ticks[r]),
+                trajectories=None,
+                num_particles=None if m == n else m,
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Poissonised Sequential-IDLA
+# ----------------------------------------------------------------------
+def batched_continuous_sequential_idla(
+    g: Graph,
+    origin=0,
+    *,
+    reps: int | None = None,
+    seeds=None,
+    seed=None,
+    rate: float = 1.0,
+) -> list[DispersionResult]:
+    """Run ``R`` independent Poissonised Sequential-IDLA realisations.
+
+    Rides :func:`repro.core.batched.batched_sequential_idla` for the
+    discrete walks (bit-identical to the serial loop, and it leaves every
+    repetition's generator at the serial stream position), then attaches
+    the ``Gamma(ρ_i, 1/rate)`` duration sums with the very same per-
+    repetition call the serial driver makes.  Entry ``r`` is bit-identical
+    to ``continuous_sequential_idla(g, origin, seed=seeds[r], rate=rate)``,
+    including the ``durations`` extra attribute.
+    """
+    # local import: batched_sequential_idla lives beside _resolve_generators
+    from repro.core.batched import batched_sequential_idla
+
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    gens = _resolve_generators(seeds, seed, reps)
+    if not gens:
+        return []
+    walks = batched_sequential_idla(g, origin, seeds=gens)
+    results = []
+    for r, res in enumerate(walks):
+        if res.total_steps == 0:
+            # The serial driver draws its first uniform block before the
+            # release loop; a repetition whose particles all settle
+            # instantly consumes none of it, but the draw still advances
+            # the stream the Gamma call below reads from.
+            gens[r].random(_SEQ_BLOCK)
+        durations = poissonise_steps(res.steps, gens[r], rate=rate)
+        out = DispersionResult(
+            process="c-sequential",
+            graph_name=g.name,
+            n=g.n,
+            origin=res.origin,
+            dispersion_time=float(durations.max()),
+            total_steps=res.total_steps,
+            steps=res.steps,
+            settled_at=res.settled_at,
+            settle_order=res.settle_order,
+            ticks=float(durations.max()),
+            trajectories=None,
+        )
+        object.__setattr__(out, "durations", durations)
+        results.append(out)
+    return results

@@ -9,6 +9,20 @@
   times are a rate-1 Poisson process, sampled by running the discrete
   process and attaching ``Gamma(ρ_i, 1)`` durations per particle (the
   paper's own sampling recipe).  ``τ_c-seq = (1 + o(1)) τ_seq``.
+
+Draw contract
+-------------
+``ctu_idla`` consumes nothing but uniform doubles, three per ring, from a
+block-buffered :class:`repro.utils.rng.UniformStream`:
+
+1. the exponential waiting time, by inversion — ``-log1p(-u) / (k·rate)``;
+2. the ringer — slot ``min(int(u·k), k-1)`` of the unsettled pool;
+3. the walk step — neighbour ``min(int(u·deg), deg-1)``.
+
+Uniform-double streams are chunk-invariant, so
+:func:`repro.core.batched_continuous.batched_ctu_idla` replays these draws
+bit for bit while advancing many repetitions in lock-step; this serial
+driver is the reference oracle it is tested against.
 """
 
 from __future__ import annotations
@@ -18,10 +32,10 @@ import numpy as np
 from repro.core.origins import resolve_origins
 from repro.core.results import DispersionResult
 from repro.core.sequential import sequential_idla
+from repro.core.settlement import UnsettledPool, settle_vacant_starts_inorder
 from repro.graphs.csr import Graph
-from repro.utils.rng import as_generator
+from repro.utils.rng import UniformStream, as_generator
 from repro.walks.continuous import poissonise_steps
-from repro.walks.single import SingleWalkKernel
 
 __all__ = ["ctu_idla", "continuous_sequential_idla"]
 
@@ -60,33 +74,38 @@ def ctu_idla(
         raise ValueError(f"rate must be > 0, got {rate}")
     rng = as_generator(seed)
     starts = resolve_origins(g, origin, m, rng)
-    kern = SingleWalkKernel(g, rng)
+    adj = g.adjacency_lists()
 
     occupied = [False] * n
-    steps = np.zeros(m, dtype=np.int64)
+    steps = [0] * m
     settled_at = np.full(m, -1, dtype=np.int64)
-    settle_order = []
+    settle_order: list[int] = []
     settle_clock = np.zeros(m, dtype=np.float64)
     pos = [int(v) for v in starts]
     trajectories: list[list[int]] | None = None
     if record:
         trajectories = [[int(v)] for v in starts]
     # time-0 settlement: vacant starts settle instantly
-    for p0 in range(m):
-        v0 = pos[p0]
-        if not occupied[v0]:
-            occupied[v0] = True
-            settled_at[p0] = v0
-            settle_order.append(p0)
-    unsettled = [p0 for p0 in range(m) if settled_at[p0] < 0]
-    where = {p: i for i, p in enumerate(unsettled)}
+    pool = UnsettledPool(
+        settle_vacant_starts_inorder(occupied, starts, settled_at, settle_order)
+    )
+    stream = UniformStream(rng)
 
     clock = 0.0
-    while unsettled:
-        k = len(unsettled)
-        clock += rng.exponential(1.0 / (k * rate))
-        p = unsettled[int(rng.integers(k))]
-        v = kern.step(pos[p])
+    k = len(pool)
+    denom = k * rate
+    while k:
+        clock += -stream.log1mu() / denom
+        i = int(stream.uniform() * k)
+        if i == k:  # floating guard, mirrors the batched np.minimum
+            i = k - 1
+        p = pool.pick(i)
+        nbrs = adj[pos[p]]
+        d = len(nbrs)
+        j = int(stream.uniform() * d)
+        if j == d:
+            j = d - 1
+        v = nbrs[j]
         pos[p] = v
         steps[p] += 1
         if record:
@@ -96,20 +115,19 @@ def ctu_idla(
             settled_at[p] = v
             settle_order.append(p)
             settle_clock[p] = clock
-            slot = where.pop(p)
-            last = unsettled.pop()
-            if last != p:
-                unsettled[slot] = last
-                where[last] = slot
+            pool.remove_at(i)
+            k -= 1
+            denom = k * rate
 
+    steps_arr = np.asarray(steps, dtype=np.int64)
     result = DispersionResult(
         process="ctu",
         graph_name=g.name,
         n=n,
         origin=int(starts[0]),
         dispersion_time=float(clock),
-        total_steps=int(steps.sum()),
-        steps=steps,
+        total_steps=int(steps_arr.sum()),
+        steps=steps_arr,
         settled_at=settled_at,
         settle_order=np.asarray(settle_order, dtype=np.int64),
         ticks=float(clock),

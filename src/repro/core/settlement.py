@@ -21,7 +21,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["select_settlers", "settle_vacant_starts", "instant_settle_chain"]
+__all__ = [
+    "select_settlers",
+    "settle_vacant_starts",
+    "instant_settle_chain",
+    "settle_vacant_starts_inorder",
+    "UnsettledPool",
+]
 
 
 def select_settlers(keys: np.ndarray, priority: np.ndarray) -> np.ndarray:
@@ -69,6 +75,64 @@ def settle_vacant_starts(
         return candidates
     winners = select_settlers(starts[candidates], priority[candidates])
     return candidates[winners]
+
+
+def settle_vacant_starts_inorder(occupied, starts, settled_at, settle_order) -> list:
+    """Round-0 pass of the tick-scheduled processes, in particle order.
+
+    The Uniform-IDLA and CTU-IDLA drivers settle every particle standing
+    on a vacant start at time 0, scanning particles in index order (so per
+    duplicated start vertex the lowest particle index wins — the same
+    winners :func:`settle_vacant_starts` picks, but with the settle order
+    the tick-scheduled drivers report).  ``occupied`` (list or bool array)
+    and ``settled_at`` are updated in place; winners are appended to
+    ``settle_order``.
+
+    Returns the list of particles still unsettled, ascending — the initial
+    contents of the scheduler's :class:`UnsettledPool`.  Shared by the
+    serial drivers and their batched lock-step replicas (which call it
+    once per repetition), so both resolve time 0 identically.
+    """
+    unsettled = []
+    for p, v in enumerate(starts):
+        v = int(v)
+        if occupied[v]:
+            unsettled.append(p)
+        else:
+            occupied[v] = True
+            settled_at[p] = v
+            settle_order.append(p)
+    return unsettled
+
+
+class UnsettledPool:
+    """Swap-remove pool of unsettled particle ids with O(1) pick/remove.
+
+    The uniform/CTU schedulers pick slot ``i`` uniformly from the pool
+    each tick; when the picked particle settles, the *last* pool entry is
+    swapped into its slot.  The batched drivers replicate exactly this
+    swap-remove on their per-repetition pool rows, which keeps every
+    subsequent scheduler index referring to the same particle in both
+    execution modes — a bit-identity requirement, not a convenience.
+    """
+
+    __slots__ = ("ids",)
+
+    def __init__(self, ids: list):
+        self.ids = ids
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def pick(self, slot: int) -> int:
+        """Particle id occupying ``slot``."""
+        return self.ids[slot]
+
+    def remove_at(self, slot: int) -> None:
+        """Swap-remove: move the last entry into ``slot`` and shrink."""
+        last = self.ids.pop()
+        if slot < len(self.ids):
+            self.ids[slot] = last
 
 
 def instant_settle_chain(occupied, starts, first: int, steps, settled_at) -> int:

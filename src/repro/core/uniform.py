@@ -16,6 +16,23 @@ equivalent simulation modes are provided:
 Both modes report per-particle jump counts (Theorem 4.7's quantity —
 stochastically dominated by the Parallel-IDLA longest walk) and the tick
 clock in ``result.ticks``.
+
+Draw contract
+-------------
+Every draw is a uniform double from one block-buffered
+:class:`repro.utils.rng.UniformStream`, consumed per tick in this order:
+
+1. *(only when ``k < m-1``)* the geometric skip count, by inversion —
+   ``int(log1p(-u) / log1p(-k/(m-1)))`` wasted ticks;
+2. the scheduler pick — pool slot ``min(int(u·k), k-1)`` (or particle
+   ``1 + min(int(u·(m-1)), m-2)`` in ``faithful_r`` mode, one draw per
+   tick even when wasted);
+3. the walk step — neighbour ``min(int(u·deg), deg-1)``.
+
+Uniform-double streams are chunk-invariant, so
+:func:`repro.core.batched_continuous.batched_uniform_idla` replays the
+default mode bit for bit in lock-step across repetitions; this serial
+driver is the reference oracle it is tested against.
 """
 
 from __future__ import annotations
@@ -24,9 +41,9 @@ import numpy as np
 
 from repro.core.origins import resolve_origins
 from repro.core.results import DispersionResult
+from repro.core.settlement import UnsettledPool, settle_vacant_starts_inorder
 from repro.graphs.csr import Graph
-from repro.utils.rng import as_generator
-from repro.walks.single import SingleWalkKernel
+from repro.utils.rng import UniformStream, as_generator
 
 __all__ = ["uniform_idla", "sample_schedule"]
 
@@ -73,53 +90,72 @@ def uniform_idla(
         )
     rng = as_generator(seed)
     starts = resolve_origins(g, origin, m, rng)
-    kern = SingleWalkKernel(g, rng)
+    adj = g.adjacency_lists()
 
     occupied = [False] * n
-    steps = np.zeros(m, dtype=np.int64)
+    steps = [0] * m
     settled_at = np.full(m, -1, dtype=np.int64)
-    settle_order = []
+    settle_order: list[int] = []
     pos = [int(v) for v in starts]
     trajectories: list[list[int]] | None = None
     if record:
         trajectories = [[int(v)] for v in starts]
     # round-0 settlement pass: vacant starts settle instantly, lowest
     # particle index first (classically: particle 0 takes the origin)
-    for p0 in range(m):
-        v0 = pos[p0]
-        if not occupied[v0]:
-            occupied[v0] = True
-            settled_at[p0] = v0
-            settle_order.append(p0)
-    unsettled = [p0 for p0 in range(m) if settled_at[p0] < 0]
-    where = {p: i for i, p in enumerate(unsettled)}  # particle -> slot
+    pool = UnsettledPool(
+        settle_vacant_starts_inorder(occupied, starts, settled_at, settle_order)
+    )
+    stream = UniformStream(rng)
     schedule: list[int] | None = [] if faithful_r else None
 
     ticks = 0
     budget = float("inf") if max_ticks is None else float(max_ticks)
-    while unsettled:
+    k = len(pool)
+    pool_size = max(m - 1, 1)
+    logq = 0.0
+    logq_k = -1  # k value `logq` was computed for
+    while k:
         ticks += 1
         if ticks > budget:
             raise RuntimeError(f"uniform IDLA exceeded max_ticks={max_ticks}")
         if faithful_r:
-            p = int(rng.integers(1, m)) if m > 1 else 0
+            if m > 1:
+                s = int(stream.uniform() * (m - 1))
+                if s == m - 1:
+                    s = m - 2
+                p = 1 + s
+            else:
+                p = 0
             schedule.append(p)
             if settled_at[p] >= 0:
                 continue  # wasted tick
+            i = -1  # p was not picked through the pool
         else:
-            k = len(unsettled)
-            # ticks until an unsettled particle is drawn ~ Geometric(k/(m-1));
-            # the current tick already counts as one attempt.
-            pool = max(m - 1, 1)
-            if k < pool:
-                extra = int(rng.geometric(k / pool)) - 1
-                ticks += extra
-                if ticks > budget:
-                    raise RuntimeError(
-                        f"uniform IDLA exceeded max_ticks={max_ticks}"
-                    )
-            p = unsettled[int(rng.integers(k))]
-        v = kern.step(pos[p])
+            if k < pool_size:
+                # ticks until an unsettled particle is drawn are
+                # Geometric(k / pool_size); the current tick already
+                # counts as one attempt.  Sampled by inversion so the
+                # batched replica reproduces the skip exactly.
+                if k != logq_k:
+                    logq = float(np.log1p(-(k / pool_size)))
+                    logq_k = k
+                extra = int(stream.log1mu() / logq)
+                if extra:
+                    ticks += extra
+                    if ticks > budget:
+                        raise RuntimeError(
+                            f"uniform IDLA exceeded max_ticks={max_ticks}"
+                        )
+            i = int(stream.uniform() * k)
+            if i == k:  # floating guard, mirrors the batched np.minimum
+                i = k - 1
+            p = pool.pick(i)
+        nbrs = adj[pos[p]]
+        d = len(nbrs)
+        j = int(stream.uniform() * d)
+        if j == d:
+            j = d - 1
+        v = nbrs[j]
         pos[p] = v
         steps[p] += 1
         if record:
@@ -128,20 +164,19 @@ def uniform_idla(
             occupied[v] = True
             settled_at[p] = v
             settle_order.append(p)
-            slot = where.pop(p)
-            last = unsettled.pop()
-            if last != p:
-                unsettled[slot] = last
-                where[last] = slot
+            if i >= 0:
+                pool.remove_at(i)
+            k -= 1
 
+    steps_arr = np.asarray(steps, dtype=np.int64)
     result = DispersionResult(
         process="uniform",
         graph_name=g.name,
         n=n,
         origin=int(starts[0]),
-        dispersion_time=int(steps.max()),
-        total_steps=int(steps.sum()),
-        steps=steps,
+        dispersion_time=int(steps_arr.max()),
+        total_steps=int(steps_arr.sum()),
+        steps=steps_arr,
         settled_at=settled_at,
         settle_order=np.asarray(settle_order, dtype=np.int64),
         ticks=float(ticks),

@@ -5,8 +5,10 @@ The runner is the single entry point benches and examples use to estimate
 ``SeedSequence.spawn`` (never a shared stream), so results are identical
 across the three execution modes:
 
-* **batched** (the default for parallel/sequential) — all repetitions
-  advance in lock-step through the drivers in :mod:`repro.core.batched`,
+* **batched** (the default for every process at sufficient repetition
+  counts) — all repetitions advance in lock-step through the drivers in
+  :mod:`repro.core.batched` (synchronous processes) and
+  :mod:`repro.core.batched_continuous` (tick-scheduled processes),
   amortising the per-round NumPy dispatch cost across the whole batch;
 * **serial** — one repetition at a time through the classic drivers; the
   reference oracle the batched drivers are bit-identical to;
@@ -31,6 +33,11 @@ from repro.core.batched import (
     batched_parallel_idla,
     batched_sequential_idla,
     buffer_doubles,
+)
+from repro.core.batched_continuous import (
+    batched_continuous_sequential_idla,
+    batched_ctu_idla,
+    batched_uniform_idla,
 )
 from repro.core.continuous import continuous_sequential_idla, ctu_idla
 from repro.core.parallel import parallel_idla
@@ -63,10 +70,14 @@ PROCESS_DRIVERS: dict[str, Callable[..., DispersionResult]] = {
 BATCHED_DRIVERS: dict[str, Callable[..., list[DispersionResult]]] = {
     "sequential": batched_sequential_idla,
     "parallel": batched_parallel_idla,
+    "uniform": batched_uniform_idla,
+    "ctu": batched_ctu_idla,
+    "c-sequential": batched_continuous_sequential_idla,
 }
 
 #: Keyword arguments each batched driver understands; anything else (e.g.
-#: ``record=True``) routes the estimate through the serial oracle.
+#: ``record=True`` or ``faithful_r=True``) routes the estimate through
+#: the serial oracle.
 _BATCHED_KWARGS = {
     "parallel": {
         "lazy",
@@ -77,13 +88,23 @@ _BATCHED_KWARGS = {
         "max_rounds",
     },
     "sequential": {"lazy", "rule", "num_particles", "max_total_steps"},
+    "uniform": {"num_particles", "max_ticks"},
+    "ctu": {"rate", "num_particles"},
+    "c-sequential": {"rate"},
 }
 
 #: Below these repetition counts the serial drivers' tuned scalar loops
 #: win; at or above them lock-step batching amortises enough dispatch
-#: overhead to pay off.  Sequential batches one particle per repetition,
-#: so its crossover is much higher than parallel's.
-_BATCHED_MIN_REPS = {"parallel": 4, "sequential": 64}
+#: overhead to pay off.  The tick-scheduled processes (uniform, ctu,
+#: c-sequential) batch one walking particle per repetition, so their
+#: crossovers sit far above parallel's repetitions × particles width.
+_BATCHED_MIN_REPS = {
+    "parallel": 4,
+    "sequential": 64,
+    "uniform": 16,
+    "ctu": 16,
+    "c-sequential": 64,
+}
 
 #: Cap on the batched drivers' per-run uniform-buffer allocation
 #: (doubles, mirroring the block sizing inside core/batched.py): beyond
@@ -192,8 +213,9 @@ def estimate_dispersion(
         ``1`` (default) runs in-process; ``> 1`` fans repetitions out over
         a process pool.  Seeds are spawned identically in all modes.
     batched:
-        ``"auto"`` (default) routes parallel/sequential estimates through
-        the lock-step drivers of :mod:`repro.core.batched` whenever the
+        ``"auto"`` (default) routes estimates through the lock-step
+        drivers of :mod:`repro.core.batched` /
+        :mod:`repro.core.batched_continuous` whenever the
         repetition count and kwargs make that profitable; ``True`` forces
         batching (raising if unsupported), ``False`` forces the serial
         reference path.  Auto dispatch never changes the numbers —

@@ -7,7 +7,6 @@ deferred so the core library has no hard networkx requirement.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.graphs.csr import Graph
 

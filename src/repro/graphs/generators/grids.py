@@ -9,7 +9,6 @@ Paper references
 
 from __future__ import annotations
 
-import itertools
 
 import numpy as np
 

@@ -17,16 +17,10 @@ simple-walk ones).
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
 from repro.graphs.csr import Graph
 from repro.markov.stationary import stationary_distribution
-from repro.markov.transition import (
-    lazy_transition_matrix,
-    sparse_transition_matrix,
-    transition_matrix,
-)
+from repro.markov.transition import lazy_transition_matrix, transition_matrix
 
 __all__ = [
     "hitting_times_to_target",

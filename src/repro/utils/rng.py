@@ -12,13 +12,18 @@ generator created by :func:`spawn_generators`).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Sequence
 
 import numpy as np
 
 SeedLike = "None | int | np.random.SeedSequence | np.random.Generator"
 
-__all__ = ["as_generator", "spawn_seed_sequences", "spawn_generators", "stable_seed"]
+__all__ = [
+    "as_generator",
+    "spawn_seed_sequences",
+    "spawn_generators",
+    "stable_seed",
+    "UniformStream",
+]
 
 
 def as_generator(seed=None) -> np.random.Generator:
@@ -89,6 +94,78 @@ def spawn_generators(seed, n: int) -> list[np.random.Generator]:
     pattern for parallel Monte Carlo (one child per worker / repetition).
     """
     return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, n)]
+
+
+class UniformStream:
+    """Block-buffered uniform doubles with a parallel ``log1p(-u)`` lane.
+
+    The serial continuous-time drivers (:mod:`repro.core.uniform`,
+    :mod:`repro.core.continuous`) draw *nothing but* uniform doubles from
+    their generator: exponential clocks, geometric skips and scheduler
+    picks are all inverse-CDF transforms of one ``Generator.random``
+    stream.  Because NumPy double streams are chunk-invariant (``random(a)``
+    then ``random(b)`` equals one ``random(a + b)`` call, double for
+    double), the batched lock-step drivers in
+    :mod:`repro.core.batched_continuous` can replay the very same streams
+    with whatever buffering suits them — the *consumption order* is the
+    whole contract.
+
+    The log lane exists for bit-identity: ``np.log1p`` (used vectorised by
+    the batched drivers) is elementwise-deterministic across array shapes
+    and strides but is **not** bit-identical to ``math.log1p``, so the
+    serial drivers must take their logarithms from NumPy too.  Computing
+    ``log1p(-u)`` once per refilled block keeps the scalar loop fast.
+
+    The first block is drawn lazily: a driver whose process finishes at
+    time 0 consumes no randomness at all, exactly like its batched replica.
+
+    Examples
+    --------
+    >>> s = UniformStream(as_generator(0), block=4)
+    >>> ref = as_generator(0).random(6)
+    >>> [s.uniform() for _ in range(6)] == ref.tolist()
+    True
+    """
+
+    __slots__ = ("_rng", "_block", "_u", "_log", "_i")
+
+    def __init__(self, rng: np.random.Generator, block: int = 16384):
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        self._rng = rng
+        self._block = block
+        self._u: list[float] | None = None
+        self._log: list[float] | None = None
+        self._i = block
+
+    def _refill(self) -> None:
+        arr = self._rng.random(self._block)
+        self._u = arr.tolist()
+        self._log = np.log1p(-arr).tolist()
+        self._i = 0
+
+    def uniform(self) -> float:
+        """Next double of the stream, as drawn."""
+        i = self._i
+        if i == self._block:
+            self._refill()
+            i = 0
+        self._i = i + 1
+        return self._u[i]
+
+    def log1mu(self) -> float:
+        """Consume the next double ``u`` and return ``log1p(-u)`` (≤ 0).
+
+        The inverse-CDF workhorse: ``-log1mu()/λ`` is ``Exp(λ)`` and
+        ``int(log1mu()/log1p(-p)) + 1`` is ``Geometric(p)``, both exactly
+        reproducible from the uniform stream by the batched drivers.
+        """
+        i = self._i
+        if i == self._block:
+            self._refill()
+            i = 0
+        self._i = i + 1
+        return self._log[i]
 
 
 def stable_seed(*parts) -> int:

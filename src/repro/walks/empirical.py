@@ -86,7 +86,6 @@ def empirical_cover_times(g: Graph, start: int, reps: int, seed=None) -> np.ndar
     while alive.size:
         t += 1
         pos = eng.step(pos, out=pos)
-        rows = np.arange(alive.size)
         newly = ~seen[alive, pos]
         seen[alive[newly], pos[newly]] = True
         remaining[alive[newly]] -= 1

@@ -201,13 +201,13 @@ def test_runner_batched_rejects_unsupported_kwargs():
     with pytest.raises(ValueError, match="record"):
         estimate_dispersion(g, "parallel", reps=4, seed=0, batched=True, record=True)
     with pytest.raises(ValueError, match="no batched driver"):
-        estimate_dispersion(g, "uniform", reps=4, seed=0, batched=True)
+        estimate_dispersion(g, "unknown-process", reps=4, seed=0, batched=True)
     with pytest.raises(ValueError, match="batched must be"):
         estimate_dispersion(g, "parallel", reps=4, seed=0, batched="true")
     with pytest.raises(ValueError, match="n_jobs"):
         estimate_dispersion(g, "parallel", reps=4, seed=0, batched=True, n_jobs=2)
-    # auto silently falls back for unsupported kwargs and other processes
-    est = estimate_dispersion(g, "uniform", reps=4, seed=0)
+    # auto silently falls back for unsupported kwargs
+    est = estimate_dispersion(g, "uniform", reps=4, seed=0, faithful_r=True)
     assert est.dispersion.n == 4
 
 

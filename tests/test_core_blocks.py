@@ -9,7 +9,7 @@ from repro.core import (
     is_valid_sequential_block,
     is_valid_uniform_block,
 )
-from repro.graphs import cycle_graph, path_graph
+from repro.graphs import path_graph
 
 
 def paper_example_block():

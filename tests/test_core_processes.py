@@ -21,7 +21,6 @@ from repro.graphs import (
     cycle_graph,
     grid_graph,
     path_graph,
-    star_graph,
 )
 from repro.utils.rng import stable_seed
 

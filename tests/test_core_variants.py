@@ -12,7 +12,7 @@ from repro.core import (
     resolve_origins,
     sequential_idla,
 )
-from repro.graphs import complete_graph, cycle_graph, grid_graph, path_graph
+from repro.graphs import cycle_graph, grid_graph, path_graph
 from repro.utils.rng import as_generator, stable_seed
 
 

@@ -6,6 +6,8 @@ import pytest
 
 import repro.bounds.constants
 import repro.core.aggregate
+import repro.core.batched
+import repro.core.batched_continuous
 import repro.core.blocks
 import repro.core.continuous
 import repro.core.parallel
@@ -51,6 +53,8 @@ MODULES = [
     repro.core.parallel,
     repro.core.uniform,
     repro.core.continuous,
+    repro.core.batched,
+    repro.core.batched_continuous,
     repro.core.aggregate,
     repro.bounds.constants,
     repro.experiments.stats,

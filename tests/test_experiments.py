@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
-    DispersionEstimate,
     bootstrap_ci,
     empirical_quantile,
     estimate_dispersion,
@@ -22,7 +21,7 @@ from repro.experiments import (
     to_jsonable,
 )
 from repro.graphs import complete_graph, cycle_graph
-from repro.theory import TABLE1, growth_laws
+from repro.theory import growth_laws
 
 
 class TestStats:
@@ -178,7 +177,7 @@ class TestTables:
         out = render_table(["a", "bb"], [[1, 2.0], [33, 4.5]])
         lines = out.splitlines()
         assert len(lines) == 4
-        assert all(len(l) == len(lines[0]) for l in lines)
+        assert all(len(line) == len(lines[0]) for line in lines)
 
     def test_render_rejects_ragged(self):
         with pytest.raises(ValueError):

@@ -1,6 +1,5 @@
 """Tests for graph structural properties and networkx conversion."""
 
-import numpy as np
 import pytest
 
 import networkx as nx

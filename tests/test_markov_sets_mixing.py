@@ -8,7 +8,6 @@ from repro.graphs import (
     cycle_graph,
     hypercube_graph,
     path_graph,
-    star_graph,
 )
 from repro.markov import (
     expected_visits,
@@ -17,7 +16,6 @@ from repro.markov import (
     lemma_c1_bound,
     matthews_lower_bound,
     matthews_upper_bound,
-    max_hitting_time,
     max_set_hitting_time,
     mixing_time,
     mixing_time_bounds,

@@ -1,7 +1,6 @@
 """Tests for spectral quantities (eigenvalues, gaps, relaxation times)."""
 
 import numpy as np
-import pytest
 
 from repro.graphs import (
     complete_graph,

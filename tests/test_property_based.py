@@ -9,7 +9,6 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (
-    Block,
     is_valid_parallel_block,
     is_valid_sequential_block,
     parallel_idla,
@@ -17,7 +16,7 @@ from repro.core import (
     sequential_idla,
     sequential_to_parallel,
 )
-from repro.graphs import Graph, cycle_graph
+from repro.graphs import Graph
 from repro.markov import (
     hitting_time_matrix,
     stationary_distribution,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graphs import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs import complete_graph, path_graph, star_graph
 from repro.markov import stationary_distribution, transition_matrix
 from repro.walks import SingleWalkKernel, WalkEngine, random_walk, walk_until_hit
 
