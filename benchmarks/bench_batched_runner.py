@@ -67,8 +67,16 @@ def bench_batched_runner(benchmark, capsys):
         f"cycle n={N}, reps={REPS}",
         ["runner", "wall-clock (s)", "per-rep (ms)"],
         [
-            ["serial", round(out["serial_s"], 1), round(1e3 * out["serial_s"] / REPS, 1)],
-            ["batched", round(out["batched_s"], 1), round(1e3 * out["batched_s"] / REPS, 1)],
+            [
+                "serial",
+                round(out["serial_s"], 1),
+                round(1e3 * out["serial_s"] / REPS, 1),
+            ],
+            [
+                "batched",
+                round(out["batched_s"], 1),
+                round(1e3 * out["batched_s"] / REPS, 1),
+            ],
         ],
         extra={
             "speedup": f"{out['speedup']:.1f}x",

@@ -57,8 +57,15 @@ def bench_concentration(benchmark, capsys):
         capsys,
         "concentration",
         "Prop 2.1 — no concentration: hairy-clique gadgets (n=64, 500 runs)",
-        ["gadget", "mean", "median", "mean/median", "P[τ < mean/8]",
-         "P[τ > 10·median]", "max"],
+        [
+            "gadget",
+            "mean",
+            "median",
+            "mean/median",
+            "P[τ < mean/8]",
+            "P[τ > 10·median]",
+            "max",
+        ],
         out["rows"],
         extra={
             "paper G1": "P[τ ≤ O(E[τ]/n)] = Ω(1)  (mass far below the mean)",

@@ -16,8 +16,14 @@ from repro.utils.rng import stable_seed
 from repro.walks import empirical_cover_times
 
 CASES = [
-    ("path", 48), ("cycle", 48), ("complete", 128), ("hypercube", 128),
-    ("binary_tree", 63), ("grid2d", 64), ("torus3d", 125), ("expander", 128),
+    ("path", 48),
+    ("cycle", 48),
+    ("complete", 128),
+    ("hypercube", 128),
+    ("binary_tree", 63),
+    ("grid2d", 64),
+    ("torus3d", 125),
+    ("expander", 128),
 ]
 REPS = 30
 
@@ -28,13 +34,17 @@ def _experiment():
         g = FAMILIES[fam_name].build(n, seed=stable_seed("c61-g", fam_name))
         seq = np.mean(
             [
-                sequential_idla(g, 0, seed=stable_seed("c61-s", fam_name, r)).dispersion_time
+                sequential_idla(
+                    g, 0, seed=stable_seed("c61-s", fam_name, r)
+                ).dispersion_time
                 for r in range(REPS)
             ]
         )
         par = np.mean(
             [
-                parallel_idla(g, 0, seed=stable_seed("c61-p", fam_name, r)).dispersion_time
+                parallel_idla(
+                    g, 0, seed=stable_seed("c61-p", fam_name, r)
+                ).dispersion_time
                 for r in range(REPS)
             ]
         )
@@ -61,8 +71,7 @@ def bench_conjecture_61(benchmark, capsys):
         capsys,
         "conjecture_61",
         "Conj 6.1 — t_par ≤ t_seq + t_cov (means; margin = rhs/lhs)",
-        ["family", "n", "E[τ_seq]", "E[τ_par]", "E[t_cov]", "seq+cov",
-         "margin"],
+        ["family", "n", "E[τ_seq]", "E[τ_par]", "E[t_cov]", "seq+cov", "margin"],
         out["rows"],
     )
     for row in out["rows"]:

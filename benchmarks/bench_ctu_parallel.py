@@ -23,7 +23,9 @@ def _experiment():
         g = FAMILIES[fam_name].build(n, seed=stable_seed("ctu-g", fam_name, n))
         par = np.mean(
             [
-                parallel_idla(g, 0, seed=stable_seed("ctu-p", fam_name, n, r)).dispersion_time
+                parallel_idla(
+                    g, 0, seed=stable_seed("ctu-p", fam_name, n, r)
+                ).dispersion_time
                 for r in range(REPS)
             ]
         )
@@ -52,8 +54,7 @@ def bench_ctu_parallel(benchmark, capsys):
         capsys,
         "ctu_parallel",
         "Thm 4.8 — CTU-IDLA clock ≈ Parallel-IDLA rounds (ratio -> 1)",
-        ["family", "n", "E[τ_par]", "E[τ_ctu clock]", "clock/par",
-         "max-jumps/par"],
+        ["family", "n", "E[τ_par]", "E[τ_ctu clock]", "clock/par", "max-jumps/par"],
         out["rows"],
     )
     # (1 + o(1)) with slow finite-size convergence: at n = 128 the clock

@@ -66,8 +66,16 @@ def bench_domination(benchmark, capsys):
         capsys,
         "domination",
         "Thm 4.1 — τ_seq ⪯ τ_par; total steps equidistributed",
-        ["graph", "E[τ_seq]", "E[τ_par]", "par/seq", "deciles ordered (of 9)",
-         "KS(total)", "E[total] seq", "E[total] par"],
+        [
+            "graph",
+            "E[τ_seq]",
+            "E[τ_par]",
+            "par/seq",
+            "deciles ordered (of 9)",
+            "KS(total)",
+            "E[total] seq",
+            "E[total] par",
+        ],
         out["rows"],
         extra={"KS rejection threshold (α=0.001)": round(ks_crit, 4)},
     )

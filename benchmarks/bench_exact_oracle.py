@@ -31,15 +31,23 @@ def _experiment():
         for name, driver in DRIVERS:
             tot = np.array(
                 [
-                    driver(g, 0, seed=stable_seed("oracle", g.name, name, r)).total_steps
+                    driver(
+                        g, 0, seed=stable_seed("oracle", g.name, name, r)
+                    ).total_steps
                     for r in range(REPS)
                 ]
             )
             sem = tot.std() / np.sqrt(REPS)
             z = (tot.mean() - exact) / max(sem, 1e-12)
             rows.append(
-                [g.name, name, round(exact, 2), round(tot.mean(), 2),
-                 round(sem, 2), round(z, 2)]
+                [
+                    g.name,
+                    name,
+                    round(exact, 2),
+                    round(tot.mean(), 2),
+                    round(sem, 2),
+                    round(z, 2),
+                ]
             )
     return {"rows": rows}
 

@@ -57,8 +57,15 @@ def bench_hitting_gap(benchmark, capsys):
         capsys,
         "hitting_gap",
         "Prop 3.8 — btree+path(√n): t_hit ≫ t_seq (t_hit no lower bound)",
-        ["height", "n", "path len", "t_hit", "E[τ_seq]", "t_hit/τ_seq",
-         "τ_seq/(n ln² n)"],
+        [
+            "height",
+            "n",
+            "path len",
+            "t_hit",
+            "E[τ_seq]",
+            "t_hit/τ_seq",
+            "τ_seq/(n ln² n)",
+        ],
         out["rows"],
         extra={"paper": "t_hit = Ω(n^{3/2−ε}) vs t_seq = O(n log² n)"},
     )

@@ -25,7 +25,9 @@ def _experiment():
         for proc, driver in (("seq", sequential_idla), ("par", parallel_idla)):
             fast = np.mean(
                 [
-                    driver(g, 0, seed=stable_seed("lzf-f", fam_name, proc, r)).dispersion_time
+                    driver(
+                        g, 0, seed=stable_seed("lzf-f", fam_name, proc, r)
+                    ).dispersion_time
                     for r in range(REPS)
                 ]
             )
@@ -38,8 +40,14 @@ def _experiment():
                 ]
             )
             rows.append(
-                [fam_name, g.n, proc, round(fast, 1), round(slow, 1),
-                 round(slow / fast, 3)]
+                [
+                    fam_name,
+                    g.n,
+                    proc,
+                    round(fast, 1),
+                    round(slow, 1),
+                    round(slow / fast, 3),
+                ]
             )
     return {"rows": rows}
 

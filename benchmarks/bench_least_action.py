@@ -32,7 +32,9 @@ def _experiment():
         )
         smart = np.array(
             [
-                driver(g, 0, seed=stable_seed("la-s", proc, r), rule=rule).dispersion_time
+                driver(
+                    g, 0, seed=stable_seed("la-s", proc, r), rule=rule
+                ).dispersion_time
                 for r in range(REPS)
             ]
         )
@@ -65,8 +67,14 @@ def bench_least_action(benchmark, capsys):
         capsys,
         "least_action",
         "Prop A.1 — hair rule ρ̃ beats greedy ρ on the hairy clique (n=96)",
-        ["process", "E[τ] greedy ρ", "E[τ] hair ρ̃", "speedup", "median ρ",
-         "median ρ̃"],
+        [
+            "process",
+            "E[τ] greedy ρ",
+            "E[τ] hair ρ̃",
+            "speedup",
+            "median ρ",
+            "median ρ̃",
+        ],
         out["rows"],
         extra={
             "blind DelayedRule(n) mean (control, no targeting)": round(

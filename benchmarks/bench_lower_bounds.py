@@ -80,8 +80,7 @@ def bench_lower_bounds(benchmark, capsys):
         capsys,
         "lower_bounds",
         "Thm 3.6/3.7 & Prop 3.9 — lower bounds below measured dispersion",
-        ["graph", "E[τ_seq]", "2|E|/Δ", "ratio", "tree 2n−3",
-         "E[τ_seq lazy]", "t_mix"],
+        ["graph", "E[τ_seq]", "2|E|/Δ", "ratio", "tree 2n−3", "E[τ_seq lazy]", "t_mix"],
         out["rows"],
     )
     for row in out["rows"]:

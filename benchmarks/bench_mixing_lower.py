@@ -26,18 +26,23 @@ def _experiment():
         tmix = mixing_time(g, lazy=True)
         lazy = np.mean(
             [
-                sequential_idla(g, 0, seed=stable_seed("ml", n, r), lazy=True).dispersion_time
+                sequential_idla(
+                    g, 0, seed=stable_seed("ml", n, r), lazy=True
+                ).dispersion_time
                 for r in range(REPS)
             ]
         )
         ratios.append(lazy / tmix)
-        rows.append([g.name, tmix, round(lazy, 1), round(lazy / tmix, 2),
-                     round(np.log(n), 2)])
+        rows.append(
+            [g.name, tmix, round(lazy, 1), round(lazy / tmix, 2), round(np.log(n), 2)],
+        )
     g = barbell_graph(12, 4)
     tmix = mixing_time(g, lazy=True)
     lazy = np.mean(
         [
-            sequential_idla(g, 0, seed=stable_seed("ml-b", r), lazy=True).dispersion_time
+            sequential_idla(
+                g, 0, seed=stable_seed("ml-b", r), lazy=True
+            ).dispersion_time
             for r in range(REPS)
         ]
     )

@@ -34,13 +34,17 @@ def _experiment():
         origin = fam.worst_origin(g)
         seq = np.mean(
             [
-                sequential_idla(g, origin, seed=stable_seed("ratio-s", fam_name, r)).dispersion_time
+                sequential_idla(
+                    g, origin, seed=stable_seed("ratio-s", fam_name, r)
+                ).dispersion_time
                 for r in range(reps)
             ]
         )
         par = np.mean(
             [
-                parallel_idla(g, origin, seed=stable_seed("ratio-p", fam_name, r)).dispersion_time
+                parallel_idla(
+                    g, origin, seed=stable_seed("ratio-p", fam_name, r)
+                ).dispersion_time
                 for r in range(reps)
             ]
         )

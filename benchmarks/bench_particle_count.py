@@ -29,8 +29,7 @@ def _experiment():
             d = np.mean(
                 [
                     parallel_idla(
-                        g, 0, seed=stable_seed("pc", g.name, ratio, r),
-                        num_particles=m,
+                        g, 0, seed=stable_seed("pc", g.name, ratio, r), num_particles=m
                     ).dispersion_time
                     for r in range(REPS)
                 ]

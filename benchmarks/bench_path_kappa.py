@@ -36,7 +36,9 @@ def _experiment():
                 for r in range(REPS)
             ]
         )
-        M = empirical_max_hitting_of_path(n, reps=REPS, seed=stable_seed("kp-m", n)).mean()
+        M = empirical_max_hitting_of_path(
+            n, reps=REPS, seed=stable_seed("kp-m", n)
+        ).mean()
         rows.append(
             [
                 n,

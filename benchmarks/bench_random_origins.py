@@ -50,8 +50,7 @@ def bench_random_origins(benchmark, capsys):
         capsys,
         "random_origins",
         "§6.2 — single-origin vs uniform-origin Sequential-IDLA",
-        ["family", "n", "E[τ] single", "E[τ] uniform", "τ speed-up",
-         "work speed-up"],
+        ["family", "n", "E[τ] single", "E[τ] uniform", "τ speed-up", "work speed-up"],
         out["rows"],
     )
     by = {r[0]: r for r in out["rows"]}

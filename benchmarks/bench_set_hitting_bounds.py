@@ -32,13 +32,17 @@ def _experiment():
         b35 = theorem_3_5_bound(g, profile=prof)
         par = np.mean(
             [
-                parallel_idla(g, 0, seed=stable_seed("shb-p", g.name, r), lazy=True).dispersion_time
+                parallel_idla(
+                    g, 0, seed=stable_seed("shb-p", g.name, r), lazy=True
+                ).dispersion_time
                 for r in range(REPS)
             ]
         )
         seq = np.mean(
             [
-                sequential_idla(g, 0, seed=stable_seed("shb-s", g.name, r), lazy=True).dispersion_time
+                sequential_idla(
+                    g, 0, seed=stable_seed("shb-s", g.name, r), lazy=True
+                ).dispersion_time
                 for r in range(REPS)
             ]
         )
@@ -67,8 +71,14 @@ def bench_set_hitting_bounds(benchmark, capsys):
         capsys,
         "set_hitting_bounds",
         "Thm 3.3/3.5 — lazy dispersion vs set-hitting upper bounds",
-        ["graph", "E[τ_par lazy]", "Thm3.3 ≤", "E[τ_seq lazy]", "Thm3.5 ≤",
-         "slack 3.3"],
+        [
+            "graph",
+            "E[τ_par lazy]",
+            "Thm3.3 ≤",
+            "E[τ_seq lazy]",
+            "Thm3.5 ≤",
+            "slack 3.3",
+        ],
         out["rows"],
         extra={
             k: f"sizes {v['phase_sizes']}, heuristic {v['heuristic_profile']}, "

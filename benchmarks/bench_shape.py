@@ -11,7 +11,12 @@ the ``log r`` scale (far below ``r`` itself).
 import numpy as np
 
 from _common import emit, run_once
-from repro.core import aggregate_after, euclidean_shape_stats, grid_coordinates, sequential_idla
+from repro.core import (
+    aggregate_after,
+    euclidean_shape_stats,
+    grid_coordinates,
+    sequential_idla,
+)
 from repro.graphs import grid_graph
 from repro.utils.rng import stable_seed
 
@@ -58,8 +63,15 @@ def bench_shape(benchmark, capsys):
         capsys,
         "shape",
         "§1.3 — LBG/JLS shape theorem: IDLA aggregates on Z² are discs",
-        ["k", "disc radius √(k/π)", "in-radius", "out-radius", "in/out",
-         "fluctuation", "fluct/log r"],
+        [
+            "k",
+            "disc radius √(k/π)",
+            "in-radius",
+            "out-radius",
+            "in/out",
+            "fluctuation",
+            "fluct/log r",
+        ],
         out["rows"],
         extra={"paper": "B(r − a log r) ⊆ A(πr²) ⊆ B(r + a log r) w.h.p."},
     )

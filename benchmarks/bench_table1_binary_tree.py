@@ -21,9 +21,15 @@ def _experiment():
     law = TABLE1["binary_tree"].seq  # n log² n
     rows = []
     for n in sweep.sizes():
-        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
-        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
-        thit = max_hitting_time(complete_binary_tree({63: 5, 127: 6, 255: 7, 511: 8}[n]))
+        seq = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "sequential"
+        )
+        par = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "parallel"
+        )
+        thit = max_hitting_time(
+            complete_binary_tree({63: 5, 127: 6, 255: 7, 511: 8}[n])
+        )
         rows.append(
             [
                 n,

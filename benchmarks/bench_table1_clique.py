@@ -21,8 +21,12 @@ def _experiment():
     sweep = sweep_dispersion("complete", SIZES, reps=REPS, seed=202401)
     rows = []
     for n in sweep.sizes():
-        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
-        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        seq = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "sequential"
+        )
+        par = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "parallel"
+        )
         exact = expected_max_geometric_sum(n - 1)
         rows.append(
             [

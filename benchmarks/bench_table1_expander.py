@@ -21,8 +21,12 @@ def _experiment():
     fam = FAMILIES["expander"]
     rows = []
     for n in sweep.sizes():
-        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
-        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        seq = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "sequential"
+        )
+        par = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "parallel"
+        )
         g = fam.build(n, seed=stable_seed(202408, "graph", n))
         gap = spectral_gap(g, lazy=True)
         rows.append(

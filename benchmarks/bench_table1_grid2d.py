@@ -21,8 +21,12 @@ def _experiment():
     hi_law = TABLE1["torus2d"].dispersion_upper  # n log² n
     rows = []
     for n in sweep.sizes():
-        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
-        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        seq = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "sequential"
+        )
+        par = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "parallel"
+        )
         rows.append(
             [
                 n,

@@ -18,8 +18,12 @@ def _experiment():
     law = TABLE1["torus3d"].seq  # n
     rows = []
     for n in sweep.sizes():
-        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
-        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        seq = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "sequential"
+        )
+        par = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "parallel"
+        )
         rows.append(
             [
                 n,

@@ -18,8 +18,12 @@ def _experiment():
     sweep = sweep_dispersion("path", SIZES, reps=REPS, seed=202402)
     rows = []
     for n in sweep.sizes():
-        seq = next(p.estimate for p in sweep.points if p.n == n and p.process == "sequential")
-        par = next(p.estimate for p in sweep.points if p.n == n and p.process == "parallel")
+        seq = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "sequential"
+        )
+        par = next(
+            p.estimate for p in sweep.points if p.n == n and p.process == "parallel"
+        )
         law = TABLE1["path"].seq
         rows.append(
             [

@@ -58,8 +58,17 @@ def bench_table1_support(benchmark, capsys):
         capsys,
         "table1_support",
         "Table 1 support columns: hitting / mixing / cover per family",
-        ["family", "n", "t_hit", "paper", "t_mix", "paper", "cover (MC)",
-         "Matthews ≤", "paper"],
+        [
+            "family",
+            "n",
+            "t_hit",
+            "paper",
+            "t_mix",
+            "paper",
+            "cover (MC)",
+            "Matthews ≤",
+            "paper",
+        ],
         out["rows"],
     )
     by_family = {r[0]: r for r in out["rows"]}

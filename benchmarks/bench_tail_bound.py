@@ -34,7 +34,9 @@ def _experiment():
         for proc, driver in (("seq", sequential_idla), ("par", parallel_idla)):
             d = np.array(
                 [
-                    driver(g, 0, seed=stable_seed("tail", fam_name, proc, r)).dispersion_time
+                    driver(
+                        g, 0, seed=stable_seed("tail", fam_name, proc, r)
+                    ).dispersion_time
                     for r in range(reps)
                 ]
             )
@@ -62,8 +64,16 @@ def bench_tail_bound(benchmark, capsys):
         capsys,
         "tail_bound",
         "Thm 3.1 — exceedances of 6·t_hit·log₂n over 2×reps runs (expect 0)",
-        ["family", "n", "threshold", "E[τ_seq]", "E[τ_par]", "max τ seen",
-         "# exceed", "E[τ_par]/bound"],
+        [
+            "family",
+            "n",
+            "threshold",
+            "E[τ_seq]",
+            "E[τ_par]",
+            "max τ seen",
+            "# exceed",
+            "E[τ_par]/bound",
+        ],
         out["rows"],
     )
     for row in out["rows"]:

@@ -64,9 +64,16 @@ def bench_uniform(benchmark, capsys):
         capsys,
         "uniform",
         "Thm 4.7 — Uniform longest walk ⪯ Parallel; total jumps scheduler-invariant",
-        ["graph", "E[max jumps unif]", "E[τ_par]", "unif/par",
-         "deciles ordered (of 9)", "E[total] unif", "E[total] par",
-         "E[total] seq"],
+        [
+            "graph",
+            "E[max jumps unif]",
+            "E[τ_par]",
+            "unif/par",
+            "deciles ordered (of 9)",
+            "E[total] unif",
+            "E[total] par",
+            "E[total] seq",
+        ],
         out["rows"],
     )
     for row in out["rows"]:

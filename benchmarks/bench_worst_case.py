@@ -28,16 +28,24 @@ def _experiment():
     for n in lolli.sizes():
         est = next(p.estimate for p in lolli.points if p.n == n)
         rows.append(
-            ["lollipop", n, round(est.dispersion.mean, 0),
-             round(est.dispersion.mean / n3law(n), 5),
-             round(general_envelope(n), 0)]
+            [
+                "lollipop",
+                n,
+                round(est.dispersion.mean, 0),
+                round(est.dispersion.mean / n3law(n), 5),
+                round(general_envelope(n), 0),
+            ]
         )
     for n in cyc.sizes():
         est = next(p.estimate for p in cyc.points if p.n == n)
         rows.append(
-            ["cycle", n, round(est.dispersion.mean, 0),
-             round(est.dispersion.mean / n2law(n), 5),
-             round(regular_envelope(n), 0)]
+            [
+                "cycle",
+                n,
+                round(est.dispersion.mean, 0),
+                round(est.dispersion.mean / n2law(n), 5),
+                round(regular_envelope(n), 0),
+            ]
         )
     return {
         "rows": rows,

@@ -51,8 +51,10 @@ def main() -> None:
             rows,
         )
     )
-    print(f"\npaper limits:  κ_cc = {KAPPA_CC:.4f}   π²/6 = {PI2_OVER_6:.4f}   "
-          f"ratio = {PI2_OVER_6 / KAPPA_CC:.3f} (the ≈30% slowdown of §1.1)")
+    print(
+        f"\npaper limits:  κ_cc = {KAPPA_CC:.4f}   π²/6 = {PI2_OVER_6:.4f}   "
+        f"ratio = {PI2_OVER_6 / KAPPA_CC:.3f} (the ≈30% slowdown of §1.1)",
+    )
 
 
 if __name__ == "__main__":

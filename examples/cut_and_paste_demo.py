@@ -27,8 +27,10 @@ from repro.graphs import cycle_graph
 
 
 def show(block, title, limit=10) -> None:
-    print(f"\n{title} (total length {block.total_length}, "
-          f"longest row {block.max_row_length}):")
+    print(
+        f"\n{title} (total length {block.total_length}, "
+        f"longest row {block.max_row_length}):",
+    )
     for i, row in enumerate(block.rows[:limit]):
         cells = " ".join(f"{v:2d}" for v in row)
         print(f"  row {i:2d}: {cells}")

@@ -30,14 +30,21 @@ import numpy as np
 
 from repro.core import HairRule, parallel_idla, sequential_idla
 from repro.experiments import render_table, summarize
-from repro.graphs import barbell_graph, clique_with_hair, random_regular_graph, torus_graph
+from repro.graphs import (
+    barbell_graph,
+    clique_with_hair,
+    random_regular_graph,
+    torus_graph,
+)
 from repro.utils.rng import stable_seed
 
 
 def measure(g, origin, reps=12, **kwargs):
     disp_s, disp_p, work = [], [], []
     for r in range(reps):
-        rs = sequential_idla(g, origin, seed=stable_seed("lb", g.name, "s", r), **kwargs)
+        rs = sequential_idla(
+            g, origin, seed=stable_seed("lb", g.name, "s", r), **kwargs
+        )
         rp = parallel_idla(g, origin, seed=stable_seed("lb", g.name, "p", r), **kwargs)
         disp_s.append(rs.dispersion_time)
         disp_p.append(rp.dispersion_time)
@@ -60,14 +67,34 @@ def main() -> None:
     rows = []
     for label, g, origin in fabrics:
         ms, mp_, ws, wp = measure(g, origin)
-        rows.append([label, g.n, f"{ms:.0f}", f"{mp_:.0f}", f"{mp_/ms:.2f}",
-                     f"{ws:.0f}", f"{wp:.0f}"])
+        rows.append(
+            [
+                label,
+                g.n,
+                f"{ms:.0f}",
+                f"{mp_:.0f}",
+                f"{mp_/ms:.2f}",
+                f"{ws:.0f}",
+                f"{wp:.0f}",
+            ],
+        )
     print("Job placement by random local search (12 reps):\n")
-    print(render_table(
-        ["topology", "servers", "makespan seq", "makespan par",
-         "par/seq", "work seq", "work par"], rows))
-    print("\nNote how work (total probes) is scheduling-invariant "
-          "(Theorem 4.1) while makespan is not.")
+    print(
+        render_table(
+        [
+            "topology",
+            "servers",
+            "makespan seq",
+            "makespan par",
+            "par/seq",
+            "work seq",
+            "work par",
+        ], rows),
+    )
+    print(
+        "\nNote how work (total probes) is scheduling-invariant "
+        "(Theorem 4.1) while makespan is not.",
+    )
 
     # Proposition A.1: a reservation rule beating greedy settling.
     n = 128

@@ -55,8 +55,10 @@ def main() -> None:
     g1 = clique_with_hair(n)
     d1 = run(g1, 0, reps, "g1")
     print(f"G1 = clique with a hair, n={n}, origin=v (hair base), {reps} runs")
-    print(f"  mean {d1.mean():.0f}, median {np.median(d1):.0f}, "
-          f"fraction below mean/3: {(d1 < d1.mean() / 3).mean():.2f}")
+    print(
+        f"  mean {d1.mean():.0f}, median {np.median(d1):.0f}, "
+        f"fraction below mean/3: {(d1 < d1.mean() / 3).mean():.2f}",
+    )
     print(text_hist(d1))
     print(
         "\n  -> a constant fraction of runs finish in O(n) while the mean is "
@@ -68,9 +70,11 @@ def main() -> None:
     d2 = run(g2, origin, reps, "g2")
     thr = 10 * np.median(d2)
     print(f"G2 = clique with a hair on a pimple, n={n}, origin=v, {reps} runs")
-    print(f"  mean {d2.mean():.0f}, median {np.median(d2):.0f}, "
-          f"fraction above 10x median: {(d2 > thr).mean():.3f} "
-          f"(Ω(1/n) = {1.0 / n:.3f} scale)")
+    print(
+        f"  mean {d2.mean():.0f}, median {np.median(d2):.0f}, "
+        f"fraction above 10x median: {(d2 > thr).mean():.3f} "
+        f"(Ω(1/n) = {1.0 / n:.3f} scale)",
+    )
     print(text_hist(d2))
     print(
         "\n  -> rare Ω(n²) excursions give Pr[D >= Ω(E[D]·n)] = Ω(1/n): the "

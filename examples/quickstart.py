@@ -40,7 +40,15 @@ def main() -> None:
             tot.append(res.total_steps)
         s, st = summarize(disp), summarize(tot)
         totals[name] = st.mean
-        rows.append([name, f"{s.mean:.1f}", f"{s.sem:.1f}", f"{s.median:.1f}", f"{st.mean:.0f}"])
+        rows.append(
+            [
+                name,
+                f"{s.mean:.1f}",
+                f"{s.sem:.1f}",
+                f"{s.median:.1f}",
+                f"{st.mean:.0f}",
+            ]
+        )
 
     print(render_table(["process", "E[τ]", "sem", "median τ", "E[total steps]"], rows))
     print(

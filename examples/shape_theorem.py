@@ -73,8 +73,14 @@ def main() -> None:
     print("IDLA aggregate shape on Z² (one run, origin at the centre):\n")
     print(
         render_table(
-            ["k", "disc radius √(k/π)", "in-radius", "out-radius",
-             "in/out", "fluctuation"],
+            [
+                "k",
+                "disc radius √(k/π)",
+                "in-radius",
+                "out-radius",
+                "in/out",
+                "fluctuation",
+            ],
             rows,
         )
     )

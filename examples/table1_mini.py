@@ -36,11 +36,17 @@ def main() -> None:
         g = fam.build(n, seed=stable_seed("t1mini", fam_name))
         origin = fam.worst_origin(g)
         seq = estimate_dispersion(
-            g, "sequential", origin=origin, reps=10,
+            g,
+            "sequential",
+            origin=origin,
+            reps=10,
             seed=stable_seed("t1mini", fam_name, "seq"),
         )
         par = estimate_dispersion(
-            g, "parallel", origin=origin, reps=10,
+            g,
+            "parallel",
+            origin=origin,
+            reps=10,
             seed=stable_seed("t1mini", fam_name, "par"),
         )
         row = TABLE1[fam_name]
@@ -59,7 +65,16 @@ def main() -> None:
     print("Table 1 at laptop scale (10 reps each):\n")
     print(
         render_table(
-            ["family", "n", "t_hit", "t_mix", "cover≤", "E[τ_seq]", "E[τ_par]", "paper order"],
+            [
+                "family",
+                "n",
+                "t_hit",
+                "t_mix",
+                "cover≤",
+                "E[τ_seq]",
+                "E[τ_par]",
+                "paper order",
+            ],
             rows,
         )
     )

@@ -35,6 +35,10 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Deferred import (numpy-heavy) — the registry is the single source of
+    # truth for --process choices, so adding a driver updates the CLI too.
+    from repro.experiments.runner import PROCESS_DRIVERS
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="Dispersion time of random walks on finite graphs (SPAA 2019 reproduction)",
@@ -51,11 +55,25 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one dispersion estimate")
     run.add_argument("family")
     run.add_argument("n", type=int)
-    run.add_argument("--process", default="sequential",
-                     choices=["sequential", "parallel", "uniform", "ctu", "c-sequential"])
+    run.add_argument("--process", default="sequential", choices=sorted(PROCESS_DRIVERS))
     run.add_argument("--reps", type=int, default=8)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--lazy", action="store_true")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan repetition shards out over N worker processes "
+        "(shared-memory graph export; default: run in-process)",
+    )
+    run.add_argument(
+        "--batched",
+        default="auto",
+        choices=["auto", "true", "false"],
+        help="lock-step batched dispatch: auto (default heuristic), "
+        "true (force, per shard when --jobs > 1), false (serial oracle)",
+    )
 
     sw = sub.add_parser("sweep", help="sweep sizes and fit scaling laws")
     sw.add_argument("family")
@@ -110,23 +128,39 @@ def _cmd_constants(out) -> int:
     print(f"kappa_cc (Lemma 5.1, corrected series) = {KAPPA_CC:.6f}", file=out)
     print(f"pi^2/6   (Theorem 5.2)                 = {PI2_OVER_6:.6f}", file=out)
     print(f"kappa_p  (Table 1 footnote, simulated) = {KAPPA_P_SIMULATED:.2f}", file=out)
-    print(f"par/seq clique slowdown                = {PI2_OVER_6 / KAPPA_CC:.4f}", file=out)
+    print(
+        f"par/seq clique slowdown                = {PI2_OVER_6 / KAPPA_CC:.4f}",
+        file=out,
+    )
     return 0
 
 
 def _cmd_run(args, out) -> int:
     from repro.experiments import estimate_dispersion
+    from repro.experiments.runner import LAZY_PROCESSES
     from repro.theory import get_family
 
+    # Validate flag compatibility before building the graph: a bad flag
+    # combination must not first pay for (or crash in) a huge construction.
+    if args.lazy and args.process not in LAZY_PROCESSES:
+        supported = "/".join(sorted(LAZY_PROCESSES))
+        print(f"--lazy is only supported for {supported}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    kwargs = {"lazy": True} if args.lazy else {}
     fam = get_family(args.family)
     g = fam.build(args.n, seed=args.seed)
-    kwargs = {"lazy": True} if args.lazy else {}
-    if args.process in ("uniform", "ctu", "c-sequential") and args.lazy:
-        print("--lazy is only supported for sequential/parallel", file=sys.stderr)
-        return 2
     est = estimate_dispersion(
-        g, args.process, origin=fam.worst_origin(g), reps=args.reps,
-        seed=args.seed, **kwargs,
+        g,
+        args.process,
+        origin=fam.worst_origin(g),
+        reps=args.reps,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        batched={"auto": "auto", "true": True, "false": False}[args.batched],
+        **kwargs,
     )
     print(est.format(), file=out)
     print(f"  total steps: {est.total_steps.format()}", file=out)
@@ -143,6 +177,15 @@ def _cmd_sweep(args, out) -> int:
         for r in res.rows()
     ]
     print(render_table(["n", "process", "E[τ]", "sem"], rows), file=out)
+    if len(res.sizes()) < 2:
+        # requested sizes may all snap to one realisable instance (the
+        # sweep dedupes those); a scaling fit needs at least two sizes
+        print(
+            "(single realised size — need two or more distinct sizes "
+            "for scaling fits)",
+            file=out,
+        )
+        return 0
     t1 = TABLE1.get(res.family)
     for proc in res.processes:
         fit = res.power_law(proc)

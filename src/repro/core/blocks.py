@@ -183,7 +183,9 @@ def _endpoints_cover(block: Block) -> bool:
     return len(set(eps)) == len(eps)
 
 
-def is_valid_sequential_block(block: Block, g: Graph | None = None, origin: int | None = None) -> bool:
+def is_valid_sequential_block(
+    block: Block, g: Graph | None = None, origin: int | None = None
+) -> bool:
     """Property (3): in row-major reading order, each vertex's first
     occurrence is the final cell of its row.
 
@@ -206,7 +208,9 @@ def is_valid_sequential_block(block: Block, g: Graph | None = None, origin: int 
     return True
 
 
-def is_valid_parallel_block(block: Block, g: Graph | None = None, origin: int | None = None) -> bool:
+def is_valid_parallel_block(
+    block: Block, g: Graph | None = None, origin: int | None = None
+) -> bool:
     """Property (4): in column-major reading order, each vertex's first
     occurrence is the final cell of its row.
     """

@@ -6,8 +6,10 @@ from repro.experiments.fitting import (
     fit_constant,
     fit_power_law,
 )
+from repro.experiments.fanout import SharedGraph, fanout_estimate, plan_shards
 from repro.experiments.io import load_json, save_json, to_jsonable
 from repro.experiments.runner import (
+    LAZY_PROCESSES,
     PROCESS_DRIVERS,
     DispersionEstimate,
     estimate_dispersion,
@@ -29,6 +31,10 @@ from repro.experiments.tables import format_value, render_table
 
 __all__ = [
     "PROCESS_DRIVERS",
+    "LAZY_PROCESSES",
+    "SharedGraph",
+    "fanout_estimate",
+    "plan_shards",
     "run_process",
     "estimate_dispersion",
     "DispersionEstimate",

@@ -1,0 +1,256 @@
+"""Shared-memory process fan-out for Monte-Carlo dispersion estimates.
+
+``estimate_dispersion(n_jobs > 1)`` used to pickle the whole graph into
+every one of the ``reps`` pool jobs and fan out *serial* repetitions, so
+the process pool could not compose with the lock-step batching of
+:mod:`repro.core.batched` / :mod:`repro.core.batched_continuous`.  This
+module replaces that path with the standard shared-immutable-structure
+pattern for parallel Monte Carlo over one read-only graph:
+
+* :class:`SharedGraph` exports a :class:`~repro.graphs.csr.Graph`'s CSR
+  arrays **once** into a named ``multiprocessing.shared_memory`` block;
+  each worker reattaches and rebuilds the graph zero-copy through
+  :meth:`repro.graphs.csr.Graph.from_shared`;
+* :func:`plan_shards` splits the repetition axis into one contiguous
+  slice per worker, so each worker runs the *batched* driver on its
+  shard — batching × processes compose instead of excluding each other;
+* :func:`run_shard` is the worker entry point and
+  :func:`fanout_estimate` orchestrates the pool from the parent.
+
+Bit-identity across execution modes is preserved because repetition
+``r`` still consumes child ``r`` of the single parent ``SeedSequence``
+no matter which shard (or dispatch mode) runs it, and the batched
+drivers replay the serial uniform streams double for double.
+
+Memory lifecycle
+----------------
+The parent owns the segment: :class:`SharedGraph` is a context manager
+whose exit closes **and unlinks** the block — including when a worker
+raises or dies mid-shard, since the ``with`` body only propagates the
+failure after the pool shuts down.  A ``weakref.finalize`` backstop
+(which also runs at interpreter shutdown) covers non-context-manager
+use, so a dropped handle never leaks the segment.  Workers only ever
+attach and close.  The pool uses the ``fork`` start method where
+available so every process shares the parent's resource tracker — with
+``spawn``, each child tracks the attachment separately and tries to
+clean it up again at exit (bpo-39959 noise; harmless here because the
+parent's unlink tolerates an already-removed segment).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+
+__all__ = [
+    "SharedGraph",
+    "SharedGraphSpec",
+    "attach",
+    "plan_shards",
+    "run_shard",
+    "fanout_estimate",
+]
+
+_ITEMSIZE = np.dtype(np.int64).itemsize
+
+
+@dataclass(frozen=True)
+class SharedGraphSpec:
+    """Picklable handle describing one exported graph (sent to workers).
+
+    ``block`` names the shared-memory segment; its first ``n + 1`` int64
+    are ``indptr``, the next ``nnz`` are ``indices`` (the packed layout
+    :meth:`Graph.from_shared` expects).  ``name`` carries the graph's
+    label so worker-side results stay attributable.
+    """
+
+    block: str
+    n: int
+    nnz: int
+    name: str
+
+
+def _release(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink a segment, tolerating double release."""
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class SharedGraph:
+    """Parent-side export of a graph into one shared-memory block.
+
+    Use as a context manager around the pool dispatch::
+
+        with SharedGraph(g) as sg:
+            pool.submit(run_shard, sg.spec, ...)
+
+    Exit (or :meth:`close`, or garbage collection via the registered
+    finalizer) unlinks the block exactly once; attach-side consumers
+    reconstruct the graph with :func:`attach` / :meth:`Graph.from_shared`
+    without copying the CSR arrays.
+    """
+
+    def __init__(self, g: Graph):
+        n, nnz = g.n, g.indices.size
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=(n + 1 + nnz) * _ITEMSIZE
+        )
+        packed = np.ndarray((n + 1 + nnz,), dtype=np.int64, buffer=self._shm.buf)
+        packed[: n + 1] = g.indptr
+        packed[n + 1 :] = g.indices
+        # Drop the exporting view immediately: SharedMemory.close() raises
+        # BufferError while any ndarray still references the mapping.
+        del packed
+        self.spec = SharedGraphSpec(block=self._shm.name, n=n, nnz=nnz, name=g.name)
+        self._finalizer = weakref.finalize(self, _release, self._shm)
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        self._finalizer()
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach(spec: SharedGraphSpec) -> tuple[shared_memory.SharedMemory, Graph]:
+    """Attach to an exported graph: returns the mapping and a zero-copy Graph.
+
+    The graph's CSR arrays view the returned mapping directly; drop every
+    reference to the graph *before* calling ``close()`` on the mapping.
+    """
+    shm = shared_memory.SharedMemory(name=spec.block)
+    try:
+        return shm, Graph.from_shared(shm.buf, spec.n, spec.nnz, name=spec.name)
+    except Exception:
+        shm.close()
+        raise
+
+
+def plan_shards(reps: int, n_jobs: int) -> list[tuple[int, int]]:
+    """Split ``range(reps)`` into contiguous per-worker ``(start, stop)`` slices.
+
+    At most ``n_jobs`` shards, every shard non-empty, sizes differing by
+    at most one (earlier shards take the remainder).  Contiguity is what
+    keeps the seed plumbing trivial: shard ``(start, stop)`` consumes
+    children ``start..stop-1`` of the parent ``SeedSequence``, so
+    repetition ``r`` sees the same stream as in every other execution
+    mode.
+
+    Examples
+    --------
+    >>> plan_shards(10, 4)
+    [(0, 3), (3, 6), (6, 8), (8, 10)]
+    >>> plan_shards(2, 8)
+    [(0, 1), (1, 2)]
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    k = min(n_jobs, reps)
+    base, extra = divmod(reps, k)
+    shards = []
+    start = 0
+    for i in range(k):
+        stop = start + base + (1 if i < extra else 0)
+        shards.append((start, stop))
+        start = stop
+    return shards
+
+
+def run_shard(
+    spec: SharedGraphSpec, process: str, origin, children, kwargs, batched
+) -> list[tuple[float, int]]:
+    """Worker entry point: run one contiguous repetition shard.
+
+    ``children`` are the shard's slice of the parent ``SeedSequence``'s
+    spawned children, one per repetition, in repetition order.  The shard
+    re-decides batched dispatch with *its own* repetition count — so the
+    ``buffer_doubles`` memory cap of the runner's auto mode applies per
+    worker, and fanning out can enable batching that one oversized
+    in-process batch would have declined.  Returns
+    ``[(dispersion_time, total_steps), ...]`` in repetition order,
+    bit-identical to the in-process paths over the same children.
+    """
+    # Imported here (not at module top) to keep runner -> fanout -> runner
+    # from becoming an import cycle; by the time a shard runs, the
+    # experiments package is fully initialised.
+    from repro.experiments.runner import BATCHED_DRIVERS, _use_batched, run_process
+
+    shm, g = attach(spec)
+    try:
+        if batched is True:
+            use_batched = True  # validated by the parent before dispatch
+        else:
+            use_batched = _use_batched(process, g, len(children), 1, kwargs, batched)
+        if use_batched:
+            batch = BATCHED_DRIVERS[process](g, origin, seeds=list(children), **kwargs)
+            return [(float(r.dispersion_time), int(r.total_steps)) for r in batch]
+        out = []
+        for child in children:
+            res = run_process(process, g, origin, seed=child, **kwargs)
+            out.append((float(res.dispersion_time), int(res.total_steps)))
+        return out
+    finally:
+        # The graph's CSR arrays view shm.buf: release them before closing
+        # the mapping (close() raises BufferError while views exist).
+        del g
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a driver kept a view alive
+            pass
+
+
+def _mp_context():
+    """Prefer ``fork``: cheap worker start and one shared resource tracker."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return multiprocessing.get_context()
+
+
+def fanout_estimate(
+    g: Graph, process: str, *, origin, children, n_jobs: int, batched, kwargs
+) -> list[tuple[float, int]]:
+    """Fan repetition shards out over a shared-memory process pool.
+
+    The graph is exported once (not pickled per job), the repetition axis
+    is sharded contiguously over at most ``n_jobs`` workers, and each
+    worker runs :func:`run_shard` — batched where profitable (or forced
+    via ``batched=True``).  Outcomes come back in repetition order and
+    are bit-identical to ``n_jobs=1`` over the same ``children``.
+    """
+    shards = plan_shards(len(children), n_jobs)
+    with SharedGraph(g) as sg:
+        with ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=_mp_context()
+        ) as pool:
+            futures = [
+                pool.submit(
+                    run_shard,
+                    sg.spec,
+                    process,
+                    origin,
+                    children[start:stop],
+                    dict(kwargs),
+                    batched,
+                )
+                for start, stop in shards
+            ]
+            outcomes: list[tuple[float, int]] = []
+            for future in futures:
+                outcomes.extend(future.result())
+    return outcomes

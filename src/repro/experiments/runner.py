@@ -12,18 +12,20 @@ across the three execution modes:
   amortising the per-round NumPy dispatch cost across the whole batch;
 * **serial** — one repetition at a time through the classic drivers; the
   reference oracle the batched drivers are bit-identical to;
-* **process pool** (``n_jobs > 1``) — repetitions fanned out over
-  ``concurrent.futures.ProcessPoolExecutor`` (the guides' recommended
-  fan-out when mpi4py is unavailable).
+* **shared-memory fan-out** (``n_jobs > 1``) — the CSR arrays are
+  exported once into ``multiprocessing.shared_memory`` and contiguous
+  repetition *shards* run on a process pool, each shard through the
+  batched drivers where profitable (see
+  :mod:`repro.experiments.fanout`); batching × processes compose.
 
 Because the batched drivers replay the serial uniform streams double for
-double, the estimates are *bit-identical* whichever mode runs — dispatch
-is purely a performance decision (see ``_use_batched``).
+double and repetition ``r`` always consumes child ``r`` of one parent
+``SeedSequence``, the estimates are *bit-identical* whichever mode runs —
+dispatch is purely a performance decision (see ``_use_batched``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
@@ -47,11 +49,12 @@ from repro.core.stopping_rules import DelayedRule, HairRule, StoppingRule
 from repro.core.uniform import uniform_idla
 from repro.experiments.stats import SummaryStats, summarize
 from repro.graphs.csr import Graph
-from repro.utils.rng import spawn_generators, stable_seed
+from repro.utils.rng import spawn_seed_sequences, stable_seed
 
 __all__ = [
     "PROCESS_DRIVERS",
     "BATCHED_DRIVERS",
+    "LAZY_PROCESSES",
     "run_process",
     "DispersionEstimate",
     "estimate_dispersion",
@@ -74,6 +77,11 @@ BATCHED_DRIVERS: dict[str, Callable[..., list[DispersionResult]]] = {
     "ctu": batched_ctu_idla,
     "c-sequential": batched_continuous_sequential_idla,
 }
+
+#: Processes whose drivers accept ``lazy=True`` (the tick-scheduled
+#: processes schedule one particle per tick and have no lazy variant).
+#: The CLI validates ``--lazy`` against this before building a graph.
+LAZY_PROCESSES = frozenset({"sequential", "parallel"})
 
 #: Keyword arguments each batched driver understands; anything else (e.g.
 #: ``record=True`` or ``faithful_r=True``) routes the estimate through
@@ -121,28 +129,38 @@ _BATCHED_MAX_BUFFER_DOUBLES = 2**25
 _PURE_RULE_TYPES = (StoppingRule, HairRule, DelayedRule)
 
 
+def _validate_forced_batched(process: str, kwargs) -> None:
+    """Raise if ``batched=True`` cannot be honoured for this request."""
+    if process not in BATCHED_DRIVERS:
+        raise ValueError(f"no batched driver for process {process!r}")
+    if not set(kwargs) <= _BATCHED_KWARGS[process]:
+        unsupported = sorted(set(kwargs) - _BATCHED_KWARGS[process])
+        raise ValueError(
+            f"kwargs {unsupported} not supported by the batched "
+            f"{process} driver; pass batched=False"
+        )
+
+
 def _use_batched(process: str, g: Graph, reps: int, n_jobs: int, kwargs, batched):
-    """Decide whether this estimate runs through the lock-step drivers."""
+    """Decide whether an in-process estimate runs through the lock-step drivers.
+
+    Shard workers call this too (with their shard's repetition count and
+    ``n_jobs=1``), so the buffer-memory cap below applies *per worker*
+    when fanning out rather than disabling batching globally.
+    """
     if batched not in (True, False, "auto"):
         raise ValueError(f"batched must be True, False or 'auto', got {batched!r}")
     if batched is False or process not in BATCHED_DRIVERS:
         if batched is True:
             raise ValueError(f"no batched driver for process {process!r}")
         return False
-    supported = set(kwargs) <= _BATCHED_KWARGS[process]
     if batched is True:
-        if n_jobs != 1:
-            raise ValueError("batched=True runs in-process; drop n_jobs or batching")
-        if not supported:
-            unsupported = sorted(set(kwargs) - _BATCHED_KWARGS[process])
-            raise ValueError(
-                f"kwargs {unsupported} not supported by the batched "
-                f"{process} driver; pass batched=False"
-            )
+        _validate_forced_batched(process, kwargs)
         return True
     # batched="auto": purely a performance heuristic — results are
-    # bit-identical either way.
-    if n_jobs != 1 or not supported:
+    # bit-identical either way.  n_jobs > 1 is decided by the fan-out
+    # path before this is consulted; here it only means "not in-process".
+    if n_jobs != 1 or not set(kwargs) <= _BATCHED_KWARGS[process]:
         return False
     if reps < _BATCHED_MIN_REPS[process]:
         return False
@@ -210,18 +228,25 @@ def estimate_dispersion(
     Parameters
     ----------
     n_jobs:
-        ``1`` (default) runs in-process; ``> 1`` fans repetitions out over
-        a process pool.  Seeds are spawned identically in all modes.
+        ``1`` (default) runs in-process; ``> 1`` exports the graph once
+        into shared memory and fans contiguous repetition *shards* out
+        over a process pool, each worker running the batched driver on
+        its shard where profitable (:mod:`repro.experiments.fanout`).
+        Seeds are spawned identically in all modes, so the samples are
+        bit-identical to ``n_jobs=1``.
     batched:
         ``"auto"`` (default) routes estimates through the lock-step
         drivers of :mod:`repro.core.batched` /
         :mod:`repro.core.batched_continuous` whenever the
         repetition count and kwargs make that profitable; ``True`` forces
         batching (raising if unsupported), ``False`` forces the serial
-        reference path.  Auto dispatch never changes the numbers —
-        batched replay is bit-identical to the serial loop, and rules it
-        cannot prove pure fall back to serial.  ``batched=True`` skips
-        that purity guard and trusts the caller's rule to be stateless.
+        reference path.  With ``n_jobs > 1`` the mode applies *per
+        shard*: ``"auto"`` re-decides with each worker's repetition
+        count, ``True`` forces every shard through the batched driver.
+        Auto dispatch never changes the numbers — batched replay is
+        bit-identical to the serial loop, and rules it cannot prove pure
+        fall back to serial.  ``batched=True`` skips that purity guard
+        and trusts the caller's rule to be stateless.
     kwargs:
         Forwarded to the driver (``lazy=True``, ``rule=…``, …).
 
@@ -239,20 +264,34 @@ def estimate_dispersion(
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
-    seeds = spawn_generators(
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    children = spawn_seed_sequences(
         seed if seed is not None else stable_seed(g.name, process, origin), reps
     )
-    if _use_batched(process, g, reps, n_jobs, kwargs, batched):
-        batch = BATCHED_DRIVERS[process](g, origin, seeds=seeds, **kwargs)
+    if n_jobs > 1:
+        if batched not in (True, False, "auto"):
+            raise ValueError(
+                f"batched must be True, False or 'auto', got {batched!r}"
+            )
+        if batched is True:
+            _validate_forced_batched(process, kwargs)
+        from repro.experiments.fanout import fanout_estimate
+
+        outcomes = fanout_estimate(
+            g,
+            process,
+            origin=origin,
+            children=children,
+            n_jobs=n_jobs,
+            batched=batched,
+            kwargs=kwargs,
+        )
+    elif _use_batched(process, g, reps, n_jobs, kwargs, batched):
+        batch = BATCHED_DRIVERS[process](g, origin, seeds=children, **kwargs)
         outcomes = [(float(r.dispersion_time), int(r.total_steps)) for r in batch]
-    elif n_jobs > 1:
-        jobs = [(process, g, origin, s, kwargs) for s in seeds]
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            outcomes = list(pool.map(_one_run, jobs))
     else:
-        outcomes = [
-            _one_run((process, g, origin, s, kwargs)) for s in seeds
-        ]
+        outcomes = [_one_run((process, g, origin, s, kwargs)) for s in children]
     disp = np.asarray([o[0] for o in outcomes])
     tot = np.asarray([o[1] for o in outcomes], dtype=np.int64)
     return DispersionEstimate(

@@ -11,7 +11,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.experiments.fitting import ConstantFit, PowerLawFit, fit_constant, fit_power_law
+from repro.experiments.fitting import (
+    ConstantFit,
+    PowerLawFit,
+    fit_constant,
+    fit_power_law,
+)
 from repro.experiments.runner import DispersionEstimate, estimate_dispersion
 from repro.theory.families import Family, get_family
 from repro.theory.table1 import GrowthLaw
@@ -104,7 +109,11 @@ def sweep_dispersion(
     seed:
         Base seed; every (size, process, rep) derives an independent
         stable child seed, so adding sizes later doesn't shift existing
-        streams.
+        streams.  Both the graph seed and the estimate seed derive from
+        the family's *snapped* size, so two requested sizes that realise
+        to the same instance are the same point — and are measured once
+        (duplicate snapped sizes are skipped) rather than entering the
+        scaling fits twice with identical streams.
     kwargs:
         Forwarded to the process drivers.
 
@@ -117,8 +126,18 @@ def sweep_dispersion(
     fam = get_family(family) if isinstance(family, str) else family
     result = SweepResult(family=fam.name, processes=tuple(processes))
     base = seed if seed is not None else stable_seed("sweep", fam.name)
+    seen: set[int] = set()
     for size in sizes:
-        g = fam.build(int(size), seed=stable_seed(base, "graph", int(size)))
+        # Seed from the *snapped* size (fam.snap is idempotent, so building
+        # at the snapped value realises exactly it): seeding from the raw
+        # request would hand two sizes that snap together identical streams
+        # under different labels, silently double-weighting that point in
+        # power_law / constant_fit.
+        n_snap = fam.snap(int(size))
+        if n_snap in seen:
+            continue
+        seen.add(n_snap)
+        g = fam.build(n_snap, seed=stable_seed(base, "graph", n_snap))
         org = fam.worst_origin(g) if origin == "family" else int(origin)
         for proc in processes:
             est = estimate_dispersion(

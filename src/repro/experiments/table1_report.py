@@ -71,11 +71,17 @@ def build_table1_report(
         g = fam.build(n_req, seed=stable_seed(seed, "graph", fam_name))
         origin = fam.worst_origin(g)
         seq = estimate_dispersion(
-            g, "sequential", origin=origin, reps=reps,
+            g,
+            "sequential",
+            origin=origin,
+            reps=reps,
             seed=stable_seed(seed, fam_name, "seq"),
         )
         par = estimate_dispersion(
-            g, "parallel", origin=origin, reps=reps,
+            g,
+            "parallel",
+            origin=origin,
+            reps=reps,
             seed=stable_seed(seed, fam_name, "par"),
         )
         entries.append(
@@ -112,7 +118,16 @@ def render_table1_report(entries) -> str:
         for e in entries
     ]
     return render_table(
-        ["family", "n", "t_hit", "t_mix", "E[τ_seq]", "E[τ_par]",
-         "paper order", "seq/order", "par/order"],
+        [
+            "family",
+            "n",
+            "t_hit",
+            "t_mix",
+            "E[τ_seq]",
+            "E[τ_par]",
+            "paper order",
+            "seq/order",
+            "par/order",
+        ],
         rows,
     )

@@ -95,7 +95,9 @@ class Graph:
         fwd_sorted = fwd[np.lexsort((fwd[:, 1], fwd[:, 0]))]
         rev_sorted = rev[np.lexsort((rev[:, 1], rev[:, 0]))]
         if not np.array_equal(fwd_sorted, rev_sorted):
-            raise ValueError("adjacency structure is not symmetric (graph must be undirected)")
+            raise ValueError(
+                "adjacency structure is not symmetric (graph must be undirected)"
+            )
 
     @classmethod
     def from_edges(
@@ -141,6 +143,34 @@ class Graph:
         np.add.at(indptr, src + 1, 1)
         np.cumsum(indptr, out=indptr)
         return cls(indptr, dst, name=name, validate=False)
+
+    @classmethod
+    def from_shared(cls, buf, n: int, nnz: int, *, name: str = "graph") -> "Graph":
+        """Zero-copy reconstruction from a packed shared-memory buffer.
+
+        ``buf`` (any buffer object, e.g. ``multiprocessing.shared_memory
+        .SharedMemory.buf``) holds ``indptr`` — ``n + 1`` native int64 —
+        immediately followed by ``indices`` (``nnz`` int64): the layout
+        written by :class:`repro.experiments.fanout.SharedGraph`.  The
+        returned graph's CSR arrays are *views* of ``buf``; nothing is
+        copied and nothing re-validated (the exporting side held an
+        already-validated graph).  The caller owns the buffer lifetime:
+        keep the mapping open while the graph is alive, and drop every
+        reference to the graph before closing it.
+        """
+        itemsize = np.dtype(np.int64).itemsize
+        if n < 0 or nnz < 0:
+            raise ValueError(f"n and nnz must be >= 0, got n={n}, nnz={nnz}")
+        if len(buf) < (n + 1 + nnz) * itemsize:
+            raise ValueError(
+                f"buffer too small for n={n}, nnz={nnz}: need "
+                f"{(n + 1 + nnz) * itemsize} bytes, got {len(buf)}"
+            )
+        indptr = np.ndarray((n + 1,), dtype=np.int64, buffer=buf)
+        indices = np.ndarray(
+            (nnz,), dtype=np.int64, buffer=buf, offset=(n + 1) * itemsize
+        )
+        return cls(indptr, indices, name=name, validate=False)
 
     @classmethod
     def from_adjacency_lists(

@@ -30,7 +30,11 @@ def bfs_distances(g: Graph, source: int) -> np.ndarray:
     while frontier.size:
         d += 1
         nxt_parts = [g.indices[g.indptr[u] : g.indptr[u + 1]] for u in frontier]
-        nxt = np.unique(np.concatenate(nxt_parts)) if nxt_parts else np.array([], dtype=np.int64)
+        nxt = (
+            np.unique(np.concatenate(nxt_parts))
+            if nxt_parts
+            else np.array([], dtype=np.int64)
+        )
         nxt = nxt[dist[nxt] == -1]
         dist[nxt] = d
         frontier = nxt

@@ -279,6 +279,9 @@ def exact_expected_sequential_dispersion(
                 tail_integral = s[hi] * rho / (1.0 - rho)
             else:
                 tail_integral = 0.0
-            if tail_integral < max(tail_tol, 1e-9) * max(cdf.sum(), 1.0) or t_max >= t_cap:
+            if (
+                tail_integral < max(tail_tol, 1e-9) * max(cdf.sum(), 1.0)
+                or t_max >= t_cap
+            ):
                 return float(np.sum(1.0 - cdf)) + float(tail_integral)
         t_max *= 2

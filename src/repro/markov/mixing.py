@@ -105,7 +105,9 @@ def mixing_time(
     return hi
 
 
-def mixing_time_bounds(g: Graph, eps: float = 0.25, *, lazy: bool = True) -> tuple[float, float]:
+def mixing_time_bounds(
+    g: Graph, eps: float = 0.25, *, lazy: bool = True
+) -> tuple[float, float]:
     """Relaxation-time sandwich ``(lower, upper)`` on ``t_mix(ε)``.
 
     ``lower = (t_rel - 1) · log(1/(2ε))`` and

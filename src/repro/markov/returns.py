@@ -22,7 +22,9 @@ __all__ = [
 ]
 
 
-def step_distributions(g: Graph, source: int, t: int, *, lazy: bool = False) -> np.ndarray:
+def step_distributions(
+    g: Graph, source: int, t: int, *, lazy: bool = False
+) -> np.ndarray:
     """Matrix of shape ``(t + 1, n)``: row ``s`` is the law of ``X_s`` from source.
 
     Iterative vector-matrix products, ``O(t n²)`` — used for short horizons.
@@ -42,7 +44,9 @@ def return_probabilities(g: Graph, u: int, t: int, *, lazy: bool = False) -> np.
     return step_distributions(g, u, t, lazy=lazy)[:, u]
 
 
-def expected_visits(g: Graph, source: int, targets, t: int, *, lazy: bool = False) -> float:
+def expected_visits(
+    g: Graph, source: int, targets, t: int, *, lazy: bool = False
+) -> float:
     """``E[# visits to S during steps 0..t]`` for a walk from ``source``.
 
     This is ``Σ_{s≤t} Σ_{v∈S} p^s(source, v)`` — the quantity ``E_π[Z |

@@ -40,7 +40,9 @@ N2 = GrowthLaw("n²", lambda n: n * n)
 N2LOGN = GrowthLaw("n² log n", lambda n: n * n * _log(n))
 N3LOGN = GrowthLaw("n³ log n", lambda n: n**3 * _log(n))
 LOGN = GrowthLaw("log n", lambda n: _log(n))
-LOGNLOGLOGN = GrowthLaw("log n loglog n", lambda n: _log(n) * math.log(max(_log(n), 2.0)))
+LOGNLOGLOGN = GrowthLaw(
+    "log n loglog n", lambda n: _log(n) * math.log(max(_log(n), 2.0))
+)
 CONST = GrowthLaw("1", lambda n: 1.0)
 N_2_3 = GrowthLaw("n^(2/3)", lambda n: n ** (2.0 / 3.0))
 
@@ -69,8 +71,14 @@ class Table1Row:
 
 TABLE1: dict[str, Table1Row] = {
     "path": Table1Row(
-        "path", N2, N2, N2, N2LOGN, N2LOGN,
-        seq_constant=KAPPA_P_SIMULATED, par_constant=KAPPA_P_SIMULATED,
+        "path",
+        N2,
+        N2,
+        N2,
+        N2LOGN,
+        N2LOGN,
+        seq_constant=KAPPA_P_SIMULATED,
+        par_constant=KAPPA_P_SIMULATED,
     ),
     "cycle": Table1Row("cycle", N2, N2, N2, N2LOGN, N2LOGN),
     "grid2d": Table1Row(
@@ -83,8 +91,14 @@ TABLE1: dict[str, Table1Row] = {
     "hypercube": Table1Row("hypercube", NLOGN, N, LOGNLOGLOGN, N, N),
     "binary_tree": Table1Row("binary_tree", NLOGN, NLOGN, N, NLOG2N, NLOG2N),
     "complete": Table1Row(
-        "complete", NLOGN, N, CONST, N, N,
-        seq_constant=KAPPA_CC, par_constant=PI2_OVER_6,
+        "complete",
+        NLOGN,
+        N,
+        CONST,
+        N,
+        N,
+        seq_constant=KAPPA_CC,
+        par_constant=PI2_OVER_6,
     ),
     "expander": Table1Row("expander", NLOGN, N, LOGN, N, N),
     # Extension row: Corollary 3.2's worst-case witness.

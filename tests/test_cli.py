@@ -54,6 +54,46 @@ class TestRun:
         code, _ = run_cli("run", "cycle", "16", "--process", "ctu", "--lazy")
         assert code == 2
 
+    def test_run_rejects_lazy_before_building_graph(self, monkeypatch):
+        # flag validation must precede graph construction: a bad flag combo
+        # on a huge size must not first pay for (or crash in) the build
+        from repro.theory import families
+
+        def _fail_build(self, n, seed=None):
+            raise AssertionError("graph must not be built for invalid flags")
+
+        monkeypatch.setattr(families.Family, "build", _fail_build)
+        code, _ = run_cli("run", "cycle", "16", "--process", "uniform", "--lazy")
+        assert code == 2
+
+    def test_run_rejects_bad_jobs_before_building_graph(self, monkeypatch):
+        from repro.theory import families
+
+        def _fail_build(self, n, seed=None):
+            raise AssertionError("graph must not be built for invalid flags")
+
+        monkeypatch.setattr(families.Family, "build", _fail_build)
+        code, _ = run_cli("run", "cycle", "16", "--jobs", "0")
+        assert code == 2
+
+    def test_run_jobs_and_batched_flags(self):
+        code, text = run_cli(
+            "run", "complete", "16", "--reps", "4", "--jobs", "2", "--batched", "false"
+        )
+        assert code == 0
+        assert "E[τ]" in text
+
+    def test_process_choices_track_driver_registry(self):
+        # --process choices derive from PROCESS_DRIVERS, not a copied list
+        from repro.experiments.runner import PROCESS_DRIVERS
+
+        parser = build_parser()
+        for proc in PROCESS_DRIVERS:
+            args = parser.parse_args(["run", "cycle", "8", "--process", proc])
+            assert args.process == proc
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "cycle", "8", "--process", "quantum"])
+
     def test_run_unknown_family(self):
         with pytest.raises(KeyError):
             run_cli("run", "petersen", "16")
@@ -65,6 +105,15 @@ class TestSweep:
         assert code == 0
         assert "exponent" in text
         assert "constant" in text
+
+    def test_sweep_single_realised_size_skips_fits(self):
+        # 50, 60 and 64 all snap to the 64-vertex hypercube; the deduped
+        # sweep has one size, so the CLI must explain rather than crash
+        # on an unfittable single point
+        code, text = run_cli("sweep", "hypercube", "50", "60", "64", "--reps", "1")
+        assert code == 0
+        assert "single realised size" in text
+        assert "exponent" not in text
 
 
 class TestBounds:

@@ -204,8 +204,11 @@ def test_runner_batched_rejects_unsupported_kwargs():
         estimate_dispersion(g, "unknown-process", reps=4, seed=0, batched=True)
     with pytest.raises(ValueError, match="batched must be"):
         estimate_dispersion(g, "parallel", reps=4, seed=0, batched="true")
-    with pytest.raises(ValueError, match="n_jobs"):
-        estimate_dispersion(g, "parallel", reps=4, seed=0, batched=True, n_jobs=2)
+    # unsupported kwargs are rejected before any fan-out worker starts
+    with pytest.raises(ValueError, match="record"):
+        estimate_dispersion(
+            g, "parallel", reps=4, seed=0, batched=True, n_jobs=2, record=True
+        )
     # auto silently falls back for unsupported kwargs
     est = estimate_dispersion(g, "uniform", reps=4, seed=0, faithful_r=True)
     assert est.dispersion.n == 4

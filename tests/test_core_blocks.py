@@ -14,12 +14,14 @@ from repro.graphs import path_graph
 
 def paper_example_block():
     """The worked example from §4 of the paper (vertices relabelled 0-3)."""
-    return Block([
+    return Block(
+        [
         [0],
         [0, 1],
         [0, 1, 1, 2],
         [0, 1, 0, 1, 2, 3],
-    ])
+        ],
+    )
 
 
 class TestBlockBasics:

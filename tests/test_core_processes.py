@@ -60,7 +60,8 @@ class TestCommonInvariants:
         assert res.settled_at[0] == 3
 
     @pytest.mark.parametrize(
-        "driver", [sequential_idla, parallel_idla, uniform_idla],
+        "driver",
+        [sequential_idla, parallel_idla, uniform_idla],
         ids=lambda d: d.__name__,
     )
     def test_trajectories_consistent_with_steps(self, c8, driver):
@@ -140,11 +141,15 @@ class TestParallel:
         # the wide phase; means must agree
         g = cycle_graph(12)
         big = [
-            parallel_idla(g, seed=stable_seed("ph", r), scalar_threshold=0).dispersion_time
+            parallel_idla(
+                g, seed=stable_seed("ph", r), scalar_threshold=0
+            ).dispersion_time
             for r in range(60)
         ]
         small = [
-            parallel_idla(g, seed=stable_seed("ph2", r), scalar_threshold=10**9).dispersion_time
+            parallel_idla(
+                g, seed=stable_seed("ph2", r), scalar_threshold=10**9
+            ).dispersion_time
             for r in range(60)
         ]
         assert abs(np.mean(big) - np.mean(small)) < 0.25 * np.mean(big)
@@ -207,9 +212,14 @@ class TestContinuous:
 
     def test_ctu_rate_scales_clock(self):
         g = complete_graph(24)
-        t1 = np.mean([ctu_idla(g, seed=stable_seed("r1", r)).dispersion_time for r in range(40)])
+        t1 = np.mean(
+            [ctu_idla(g, seed=stable_seed("r1", r)).dispersion_time for r in range(40)]
+        )
         t2 = np.mean(
-            [ctu_idla(g, rate=2.0, seed=stable_seed("r2", r)).dispersion_time for r in range(40)]
+            [
+                ctu_idla(g, rate=2.0, seed=stable_seed("r2", r)).dispersion_time
+                for r in range(40)
+            ]
         )
         assert 1.5 < t1 / t2 < 2.5
 
@@ -233,7 +243,10 @@ class TestStoppingRules:
     def test_delayed_rule_increases_steps(self):
         g = complete_graph(24)
         normal = np.mean(
-            [sequential_idla(g, seed=stable_seed("d0", r)).total_steps for r in range(20)]
+            [
+                sequential_idla(g, seed=stable_seed("d0", r)).total_steps
+                for r in range(20)
+            ]
         )
         delayed = np.mean(
             [

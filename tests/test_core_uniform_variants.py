@@ -60,8 +60,7 @@ class TestPtUInverse:
     """Theorem 4.7's bijection: StP inverts PtU_R exactly."""
 
     @pytest.mark.parametrize(
-        "g", [cycle_graph(8), complete_graph(6), grid_graph(3, 3)],
-        ids=lambda g: g.name,
+        "g", [cycle_graph(8), complete_graph(6), grid_graph(3, 3)], ids=lambda g: g.name
     )
     def test_stp_inverts_ptu(self, g):
         for r in range(8):

@@ -47,8 +47,9 @@ class TestResolveOrigins:
 
 
 class TestFewerParticles:
-    @pytest.mark.parametrize("driver", [sequential_idla, parallel_idla],
-                             ids=lambda d: d.__name__)
+    @pytest.mark.parametrize(
+        "driver", [sequential_idla, parallel_idla], ids=lambda d: d.__name__
+    )
     def test_m_less_than_n(self, driver):
         g = cycle_graph(12)
         res = driver(g, 0, seed=1, num_particles=5)
@@ -76,7 +77,9 @@ class TestFewerParticles:
         )
         half = np.mean(
             [
-                parallel_idla(g, 0, seed=stable_seed("fp2", r), num_particles=18).dispersion_time
+                parallel_idla(
+                    g, 0, seed=stable_seed("fp2", r), num_particles=18
+                ).dispersion_time
                 for r in range(25)
             ]
         )
@@ -103,7 +106,9 @@ class TestMoreParticles:
         )
         quad = np.mean(
             [
-                parallel_idla(g, 0, seed=stable_seed("mp2", r), num_particles=96).dispersion_time
+                parallel_idla(
+                    g, 0, seed=stable_seed("mp2", r), num_particles=96
+                ).dispersion_time
                 for r in range(25)
             ]
         )
@@ -116,8 +121,9 @@ class TestMoreParticles:
 
 
 class TestRandomOrigins:
-    @pytest.mark.parametrize("driver", [sequential_idla, parallel_idla],
-                             ids=lambda d: d.__name__)
+    @pytest.mark.parametrize(
+        "driver", [sequential_idla, parallel_idla], ids=lambda d: d.__name__
+    )
     def test_uniform_origins_disperse(self, driver):
         g = grid_graph(5, 5)
         res = driver(g, "uniform", seed=5)
@@ -148,7 +154,9 @@ class TestRandomOrigins:
         )
         spread = np.mean(
             [
-                sequential_idla(g, "uniform", seed=stable_seed("ro2", r)).dispersion_time
+                sequential_idla(
+                    g, "uniform", seed=stable_seed("ro2", r)
+                ).dispersion_time
                 for r in range(20)
             ]
         )

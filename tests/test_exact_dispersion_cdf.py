@@ -71,15 +71,16 @@ class TestExpectedDispersion:
         assert abs(exact - ref) < 1e-6
 
     @pytest.mark.parametrize(
-        "g", [cycle_graph(7), path_graph(6), complete_graph(6)],
-        ids=lambda g: g.name,
+        "g", [cycle_graph(7), path_graph(6), complete_graph(6)], ids=lambda g: g.name
     )
     def test_matches_monte_carlo(self, g):
         exact = exact_expected_sequential_dispersion(g)
         reps = 1500
         mc = np.array(
             [
-                sequential_idla(g, 0, seed=stable_seed("cdf-mc", g.name, r)).dispersion_time
+                sequential_idla(
+                    g, 0, seed=stable_seed("cdf-mc", g.name, r)
+                ).dispersion_time
                 for r in range(reps)
             ]
         )

@@ -94,10 +94,13 @@ class TestRunner:
             estimate_dispersion(cycle_graph(8), reps=0)
 
     def test_parallel_jobs_match_serial(self):
+        # the shared-memory shard path preserves repetition order, so the
+        # equality is exact and elementwise, not merely as multisets
         g = complete_graph(12)
         a = estimate_dispersion(g, "sequential", reps=4, seed=3, n_jobs=1)
         b = estimate_dispersion(g, "sequential", reps=4, seed=3, n_jobs=2)
-        assert np.array_equal(np.sort(a.samples), np.sort(b.samples))
+        assert np.array_equal(a.samples, b.samples)
+        assert np.array_equal(a.total_samples, b.total_samples)
 
 
 class TestFitting:
@@ -167,6 +170,26 @@ class TestSweep:
         res = sweep_dispersion("hypercube", [50], reps=1, seed=7)
         assert res.sizes() == [64]
 
+    def test_sweep_dedupes_snapped_sizes(self):
+        # 50, 60 and 64 all snap to the 64-vertex hypercube; measuring the
+        # point three times with identical streams would silently
+        # triple-weight it in power_law / constant_fit
+        res = sweep_dispersion("hypercube", [50, 60, 64], reps=1, seed=7)
+        assert res.sizes() == [64]
+        assert len(res.points) == 2  # one per process, not one per request
+
+    def test_sweep_seeds_from_snapped_size(self):
+        # regression: graphs used to be seeded from the *requested* size,
+        # so two requests realising the same size built different random
+        # graphs yet shared one estimate stream; both seeds now derive
+        # from the snapped size, making the sweep label-independent
+        a = sweep_dispersion("expander", [7], reps=2, seed=11)
+        b = sweep_dispersion("expander", [8], reps=2, seed=11)
+        assert len(a.points) == len(b.points)
+        for pa, pb in zip(a.points, b.points):
+            assert pa.n == pb.n == 8
+            assert np.array_equal(pa.estimate.samples, pb.estimate.samples)
+
     def test_sweep_fixed_origin(self):
         res = sweep_dispersion("cycle", [12], reps=1, seed=8, origin=3)
         assert res.points[0].estimate.origin == 3
@@ -203,6 +226,29 @@ class TestIO:
         out = to_jsonable({"a": np.int64(3), "b": np.array([1.5]), "c": (1, 2)})
         json.dumps(out)
         assert out == {"a": 3, "b": [1.5], "c": [1, 2]}
+
+    def test_to_jsonable_numpy_bool(self):
+        out = to_jsonable({"yes": np.bool_(True), "no": np.bool_(False)})
+        assert out == {"yes": True, "no": False}
+        assert isinstance(out["yes"], bool) and isinstance(out["no"], bool)
+
+    def test_to_jsonable_nonfinite_floats_become_null(self):
+        out = to_jsonable(
+            {
+                "nan": float("nan"),
+                "inf": np.float64("inf"),
+                "arr": np.array([1.5, np.nan, -np.inf]),
+            }
+        )
+        assert out == {"nan": None, "inf": None, "arr": [1.5, None, None]}
+        json.dumps(out, allow_nan=False)  # strict standard JSON
+
+    def test_nonfinite_roundtrip(self, tmp_path):
+        p = tmp_path / "x.json"
+        save_json(p, {"sem": np.float64("nan"), "mean": 2.0})
+        assert load_json(p) == {"sem": None, "mean": 2.0}
+        # the raw file must not contain the non-standard NaN token
+        assert "NaN" not in p.read_text()
 
     def test_to_jsonable_rejects_exotic(self):
         with pytest.raises(TypeError):

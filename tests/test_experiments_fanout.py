@@ -1,0 +1,203 @@
+"""Tests for the shared-memory fan-out subsystem (experiments.fanout)."""
+
+import gc
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import estimate_dispersion
+from repro.experiments.fanout import (
+    SharedGraph,
+    SharedGraphSpec,
+    attach,
+    plan_shards,
+    run_shard,
+)
+from repro.graphs import cycle_graph, grid_graph
+from repro.graphs.csr import Graph
+from repro.utils.rng import spawn_seed_sequences
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def _segments() -> set[str]:
+    """Names of live POSIX shared-memory segments created by Python."""
+    if not _SHM_DIR.exists():
+        pytest.skip("no /dev/shm on this platform")
+    return {p.name for p in _SHM_DIR.iterdir() if p.name.startswith("psm_")}
+
+
+class TestSharedGraph:
+    def test_roundtrip_is_zero_copy(self):
+        g = grid_graph(4, 4)
+        with SharedGraph(g) as sg:
+            assert sg.spec.n == g.n and sg.spec.nnz == g.indices.size
+            shm, g2 = attach(sg.spec)
+            try:
+                assert g2 == g
+                assert g2.name == g.name
+                assert g2.degrees.tolist() == g.degrees.tolist()
+                # the reattached CSR arrays are views of the mapping
+                packed = np.ndarray(
+                    (g.n + 1 + g.indices.size,), dtype=np.int64, buffer=shm.buf
+                )
+                assert np.shares_memory(g2.indptr, packed)
+                assert np.shares_memory(g2.indices, packed)
+                assert not g2.indptr.flags.writeable
+            finally:
+                del g2, packed
+                shm.close()
+
+    def test_context_exit_unlinks(self):
+        with SharedGraph(cycle_graph(8)) as sg:
+            name = sg.spec.block
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent(self):
+        sg = SharedGraph(cycle_graph(8))
+        sg.close()
+        sg.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=sg.spec.block)
+
+    def test_finalizer_backstop_unlinks_on_gc(self):
+        sg = SharedGraph(cycle_graph(8))
+        name = sg.spec.block
+        del sg
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_exception_inside_context_still_unlinks(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedGraph(cycle_graph(8)) as sg:
+                name = sg.spec.block
+                raise RuntimeError("boom")
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_from_shared_rejects_short_buffer(self):
+        with pytest.raises(ValueError, match="too small"):
+            Graph.from_shared(bytearray(8), n=4, nnz=8)
+
+
+class TestPlanShards:
+    def test_partitions_contiguously(self):
+        for reps in (1, 2, 7, 16, 257):
+            for n_jobs in (1, 2, 3, 8):
+                shards = plan_shards(reps, n_jobs)
+                assert len(shards) == min(n_jobs, reps)
+                assert shards[0][0] == 0 and shards[-1][1] == reps
+                for (a0, a1), (b0, b1) in zip(shards, shards[1:]):
+                    assert a1 == b0  # contiguous, in order
+                sizes = [stop - start for start, stop in shards]
+                assert min(sizes) >= 1
+                assert max(sizes) - min(sizes) <= 1  # balanced
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_shards(0, 2)
+        with pytest.raises(ValueError):
+            plan_shards(4, 0)
+
+
+class TestFanoutEstimate:
+    # one synchronous and one tick-scheduled process; repetition counts
+    # chosen so each 2-way shard crosses its batched-dispatch threshold
+    @pytest.mark.parametrize("process,reps", [("parallel", 8), ("ctu", 32)])
+    def test_tri_modal_bit_identity(self, process, reps):
+        """Serial oracle, forced in-process batching and the shared-memory
+        shard path must agree bit for bit over the same seed."""
+        g = cycle_graph(16)
+        serial = estimate_dispersion(g, process, reps=reps, seed=5, batched=False)
+        batched = estimate_dispersion(g, process, reps=reps, seed=5, batched=True)
+        fanned = estimate_dispersion(g, process, reps=reps, seed=5, n_jobs=2)
+        assert np.array_equal(serial.samples, batched.samples)
+        assert np.array_equal(serial.samples, fanned.samples)
+        assert np.array_equal(serial.total_samples, fanned.total_samples)
+
+    def test_more_jobs_than_reps(self):
+        g = cycle_graph(12)
+        a = estimate_dispersion(g, "sequential", reps=2, seed=4, n_jobs=1)
+        b = estimate_dispersion(g, "sequential", reps=2, seed=4, n_jobs=8)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_forced_batched_composes_with_jobs(self):
+        g = cycle_graph(12)
+        a = estimate_dispersion(g, "parallel", reps=6, seed=3, batched=True)
+        b = estimate_dispersion(g, "parallel", reps=6, seed=3, batched=True, n_jobs=2)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_forced_batched_rejects_unsupported_kwargs_before_fanout(self):
+        with pytest.raises(ValueError, match="record"):
+            estimate_dispersion(
+                cycle_graph(12),
+                "parallel",
+                reps=4,
+                seed=0,
+                batched=True,
+                n_jobs=2,
+                record=True,
+            )
+
+    def test_n_jobs_validation(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            estimate_dispersion(cycle_graph(8), reps=2, n_jobs=0)
+
+    def test_no_leaked_segments(self):
+        before = _segments()
+        estimate_dispersion(cycle_graph(12), "parallel", reps=6, seed=1, n_jobs=2)
+        assert _segments() - before == set()
+
+    def test_worker_failure_propagates_and_cleans_up(self):
+        """A shard raising mid-run must surface the error in the parent and
+        still unlink the graph segment (the crash-cleanup guarantee)."""
+        before = _segments()
+        with pytest.raises(RuntimeError, match="max_rounds"):
+            estimate_dispersion(
+                cycle_graph(12),
+                "parallel",
+                reps=4,
+                seed=2,
+                n_jobs=2,
+                batched=False,
+                max_rounds=0,
+            )
+        assert _segments() - before == set()
+
+    def test_per_shard_buffer_budgeting(self):
+        """Auto dispatch declines a 3000-repetition in-process batch on the
+        buffer cap, but each half-shard of a 2-way fan-out fits — the cap
+        applies per worker, so sharding re-enables batching."""
+        from repro.experiments.runner import (
+            _BATCHED_MAX_BUFFER_DOUBLES,
+            _use_batched,
+        )
+        from repro.core.batched import buffer_doubles
+
+        g = cycle_graph(8)
+        full, half = 3000, 1500  # plan_shards(3000, 2) -> two 1500-rep shards
+        assert buffer_doubles("parallel", full, g.n) > _BATCHED_MAX_BUFFER_DOUBLES
+        assert buffer_doubles("parallel", half, g.n) <= _BATCHED_MAX_BUFFER_DOUBLES
+        assert not _use_batched("parallel", g, full, 1, {}, "auto")
+        assert _use_batched("parallel", g, half, 1, {}, "auto")
+
+
+class TestRunShard:
+    def test_run_shard_matches_serial_oracle(self):
+        """Direct worker-entry-point check, without a pool in between."""
+        g = cycle_graph(16)
+        children = spawn_seed_sequences(17, 6)
+        oracle = estimate_dispersion(
+            g, "parallel", reps=6, seed=17, batched=False
+        )
+        with SharedGraph(g) as sg:
+            out = run_shard(sg.spec, "parallel", 0, children[2:5], {}, "auto")
+        assert [o[0] for o in out] == oracle.samples[2:5].tolist()
+
+    def test_spec_is_plain_data(self):
+        spec = SharedGraphSpec(block="x", n=1, nnz=0, name="g")
+        assert (spec.block, spec.n, spec.nnz, spec.name) == ("x", 1, 0, "g")

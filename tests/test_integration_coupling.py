@@ -75,8 +75,9 @@ class TestTheorem42LogFactor:
 
 
 class TestTheorem43Laziness:
-    @pytest.mark.parametrize("g", [cycle_graph(24), complete_graph(48)],
-                             ids=lambda g: g.name)
+    @pytest.mark.parametrize(
+        "g", [cycle_graph(24), complete_graph(48)], ids=lambda g: g.name
+    )
     def test_lazy_sequential_factor_2(self, g):
         fast = samples(sequential_idla, g, 80, "t43f").mean()
         slow = samples(sequential_idla, g, 80, "t43l", lazy=True).mean()
@@ -109,8 +110,9 @@ class TestTheorem48CTU:
 
 
 class TestTheorem47Uniform:
-    @pytest.mark.parametrize("g", [cycle_graph(20), complete_graph(32)],
-                             ids=lambda g: g.name)
+    @pytest.mark.parametrize(
+        "g", [cycle_graph(20), complete_graph(32)], ids=lambda g: g.name
+    )
     def test_uniform_longest_walk_dominated_by_parallel(self, g):
         uni = np.empty(120)
         for r in range(120):

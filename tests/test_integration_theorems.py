@@ -45,7 +45,9 @@ def mean_disp(driver, g, reps=60, tag="", **kw):
     return float(
         np.mean(
             [
-                driver(g, 0, seed=stable_seed("thm", tag, g.name, r), **kw).dispersion_time
+                driver(
+                    g, 0, seed=stable_seed("thm", tag, g.name, r), **kw
+                ).dispersion_time
                 for r in range(reps)
             ]
         )
@@ -72,7 +74,8 @@ class TestTheorem31TailAndMean:
 
 class TestTheorems33And35:
     @pytest.mark.parametrize(
-        "g", [cycle_graph(12), complete_graph(12), hypercube_graph(3)],
+        "g",
+        [cycle_graph(12), complete_graph(12), hypercube_graph(3)],
         ids=lambda g: g.name,
     )
     def test_33_dominates_lazy_parallel(self, g):
@@ -82,7 +85,8 @@ class TestTheorems33And35:
         assert measured <= bound
 
     @pytest.mark.parametrize(
-        "g", [cycle_graph(12), complete_graph(12), hypercube_graph(3)],
+        "g",
+        [cycle_graph(12), complete_graph(12), hypercube_graph(3)],
         ids=lambda g: g.name,
     )
     def test_35_dominates_lazy_sequential(self, g):
@@ -102,7 +106,8 @@ class TestLowerBoundsVsMeasured:
         assert measured >= 0.8 * theorem_3_6_bound(g)
 
     @pytest.mark.parametrize(
-        "g", [path_graph(16), star_graph(16), complete_binary_tree(3)],
+        "g",
+        [path_graph(16), star_graph(16), complete_binary_tree(3)],
         ids=lambda g: g.name,
     )
     def test_thm_3_7_trees(self, g):

@@ -73,7 +73,8 @@ class TestSmallClosedForms:
 
 class TestAgainstSimulation:
     @pytest.mark.parametrize(
-        "g", [path_graph(7), cycle_graph(8), complete_graph(7), star_graph(7)],
+        "g",
+        [path_graph(7), cycle_graph(8), complete_graph(7), star_graph(7)],
         ids=lambda g: g.name,
     )
     def test_sequential_driver_matches_exact(self, g):
@@ -81,7 +82,9 @@ class TestAgainstSimulation:
         reps = 600
         tot = np.array(
             [
-                sequential_idla(g, 0, seed=stable_seed("exact-s", g.name, r)).total_steps
+                sequential_idla(
+                    g, 0, seed=stable_seed("exact-s", g.name, r)
+                ).total_steps
                 for r in range(reps)
             ]
         )
@@ -113,7 +116,9 @@ class TestAgainstSimulation:
         reps = 600
         tot = np.array(
             [
-                driver(g, 0, seed=stable_seed("exact-t", driver.__name__, r)).total_steps
+                driver(
+                    g, 0, seed=stable_seed("exact-t", driver.__name__, r)
+                ).total_steps
                 for r in range(reps)
             ]
         )

@@ -82,8 +82,7 @@ class TestTheorem41Exact:
 
 class TestAgainstSimulation:
     @pytest.mark.parametrize(
-        "g", [cycle_graph(6), complete_graph(5), path_graph(4)],
-        ids=lambda g: g.name,
+        "g", [cycle_graph(6), complete_graph(5), path_graph(4)], ids=lambda g: g.name
     )
     def test_driver_matches_exact(self, g):
         exact = analyze_parallel_idla(g, 0)
@@ -93,5 +92,11 @@ class TestAgainstSimulation:
         for r in range(reps):
             res = parallel_idla(g, 0, seed=stable_seed("xp", g.name, r))
             disp[r], tot[r] = res.dispersion_time, res.total_steps
-        assert abs(disp.mean() - exact.expected_dispersion) < 4 * disp.std() / np.sqrt(reps) + 0.02
-        assert abs(tot.mean() - exact.expected_total_steps) < 4 * tot.std() / np.sqrt(reps) + 0.02
+        assert (
+            abs(disp.mean() - exact.expected_dispersion)
+            < 4 * disp.std() / np.sqrt(reps) + 0.02
+        )
+        assert (
+            abs(tot.mean() - exact.expected_total_steps)
+            < 4 * tot.std() / np.sqrt(reps) + 0.02
+        )

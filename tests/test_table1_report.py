@@ -23,7 +23,9 @@ class TestReport:
 
         entries = build_table1_report({"complete": 32}, reps=3, seed=2)
         e = entries[0]
-        assert e.seq_normalised == pytest.approx(e.seq_mean / TABLE1["complete"].seq(32))
+        assert e.seq_normalised == pytest.approx(
+            e.seq_mean / TABLE1["complete"].seq(32)
+        )
 
     def test_deterministic(self):
         a = build_table1_report({"cycle": 16}, reps=2, seed=3)

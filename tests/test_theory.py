@@ -28,8 +28,14 @@ class TestGrowthLaws:
 class TestTable1:
     def test_all_paper_rows_present(self):
         for fam in [
-            "path", "cycle", "grid2d", "torus3d", "hypercube",
-            "binary_tree", "complete", "expander",
+            "path",
+            "cycle",
+            "grid2d",
+            "torus3d",
+            "hypercube",
+            "binary_tree",
+            "complete",
+            "expander",
         ]:
             assert fam in TABLE1
 
@@ -51,8 +57,18 @@ class TestTable1:
 
 class TestFamilies:
     def test_all_registered(self):
-        assert {"path", "cycle", "complete", "hypercube", "binary_tree",
-                "grid2d", "torus2d", "torus3d", "expander", "lollipop"} <= set(
+        assert {
+            "path",
+            "cycle",
+            "complete",
+            "hypercube",
+            "binary_tree",
+            "grid2d",
+            "torus2d",
+            "torus3d",
+            "expander",
+            "lollipop",
+        } <= set(
             FAMILIES
         )
 

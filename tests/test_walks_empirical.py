@@ -39,7 +39,9 @@ class TestEmpiricalHitting:
     def test_lazy_roughly_doubles(self):
         g = cycle_graph(10)
         fast = empirical_set_hitting_times(g, 0, [5], reps=600, seed=3).mean()
-        slow = empirical_set_hitting_times(g, 0, [5], reps=600, seed=4, lazy=True).mean()
+        slow = empirical_set_hitting_times(
+            g, 0, [5], reps=600, seed=4, lazy=True
+        ).mean()
         assert 1.6 < slow / fast < 2.4
 
     def test_reps_validation(self, c8):
