@@ -14,30 +14,55 @@ finished repetitions from the flat state, so round ``t`` costs
 same vectorise-the-outer-loop move the serial engine applies to
 particles, lifted one level up to repetitions.
 
+Streaming buffers and the scalar tail finisher
+----------------------------------------------
+Uniforms come from :class:`repro.utils.rng.UniformStreams`: per-repetition
+refill chunks over one shared buffer whose total size is *bounded* (the
+chunk shrinks as the repetition count grows), so batching is open to any
+graph size and repetition count — the old ``reps × block`` preallocation
+and the ``_BATCHED_MAX_BUFFER_DOUBLES`` auto-dispatch decline it forced
+are gone.  Chunk-invariance of NumPy double streams makes the chunk size
+invisible in the results.
+
+The same property permits a mid-stream handoff: once the **total live
+particle count across repetitions** drops below a small threshold, the
+lock-step round (a fixed number of NumPy calls, ~µs each) costs more than
+scalar work on the stragglers, so each surviving repetition is handed to
+a plain-Python micro-loop (the serial drivers' own narrow-phase shape)
+that continues its uniform stream via :meth:`UniformStreams.tail` — the
+*scalar tail finisher*, trimming the deep ``Θ(n² log n)`` settlement
+tails the paper proves for the cycle.
+
 Bit-identical replay
 --------------------
 Each repetition consumes uniforms from its **own child generator** in
 exactly the order the serial driver would.  NumPy's ``Generator.random``
 produces an identical double stream regardless of how draws are chunked
 (``random(a)`` then ``random(b)`` equals ``random(a + b)`` split), so the
-per-repetition block buffers here replay the serial drivers'
+per-repetition streaming chunks here replay the serial drivers'
 ``random(k)``-per-round / block-buffered-scalar draw patterns double for
-double.  Consequently::
+double, before *and* after the finisher handoff.  Consequently::
 
     batched_parallel_idla(g, seeds=seeds) ==
         [parallel_idla(g, seed=s) for s in seeds]      # bit for bit
 
 including the lazy variants, random tie-breaking, custom origins and the
 ``m ≠ n`` particle-count variants (enforced by
-``tests/test_core_batched.py``).  Two serial quirks are reproduced
-deliberately:
+``tests/test_core_batched.py`` and ``tests/test_streaming_buffers.py``).
+Two serial quirks are reproduced deliberately:
 
 * the serial parallel driver's scalar-tail fallback changes the *lazy*
   draw pattern below ``scalar_threshold`` active particles (two uniforms
-  per particle per round above it, one below); the batched driver tracks
-  a per-repetition wide/narrow mode so the streams stay aligned;
+  per particle per round above it, one below); the batched driver — and
+  the finisher — track a per-repetition wide/narrow mode so the streams
+  stay aligned;
 * settling rules are evaluated only on vacant candidates — identical
   outcomes for the library's (pure) rules, far fewer Python calls.
+
+The sequential driver additionally leaves every repetition's generator at
+the **serial stream position** (``UniformStreams.align_to_serial``): the
+Poissonised sequential driver keeps consuming the generator after the
+discrete walks, so the fetch grid matters there, not just the values.
 
 ``record=True`` and unknown keyword arguments are *not* supported; the
 runner treats that as its cue to fall back to the serial reference path,
@@ -50,6 +75,7 @@ import numpy as np
 
 from repro.core.origins import resolve_origins
 from repro.core.results import DispersionResult
+from repro.core.sequential import _BLOCK as _SERIAL_SEQ_BLOCK
 from repro.core.settlement import (
     instant_settle_chain,
     select_settlers,
@@ -57,44 +83,87 @@ from repro.core.settlement import (
 )
 from repro.core.stopping_rules import StoppingRule, standard_rule
 from repro.graphs.csr import Graph
-from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.rng import (
+    UniformStream,
+    UniformStreams,
+    as_generator,
+    resolve_stream_block,
+    spawn_generators,
+)
 from repro.walks.engine import csr_step
 
-__all__ = ["batched_parallel_idla", "batched_sequential_idla", "buffer_doubles"]
+__all__ = [
+    "batched_parallel_idla",
+    "batched_sequential_idla",
+    "buffer_doubles",
+    "stream_block",
+]
 
-#: Minimum per-repetition uniform buffer (doubles); matches the serial
-#: drivers' scalar block size.  The parallel driver enlarges it so one
-#: round's consumption (≤ 2·m doubles per repetition) always fits.
-_BLOCK = 16384
+#: Test override for the streaming refill chunk (doubles per repetition);
+#: ``None`` auto-sizes through :func:`repro.utils.rng.resolve_stream_block`.
+#: For the sequential driver an override must be a power of two dividing
+#: the serial fetch block (the generator-position parity the Poissonised
+#: driver relies on is only provable on that grid).
+_BLOCK: int | None = None
+
+#: Scalar-tail-finisher default: once the total live-particle count
+#: across repetitions drops to this, each straggler repetition is handed
+#: to the serial scalar micro-loop.  Mirrors the serial parallel driver's
+#: ``scalar_threshold`` break-even (~16 walkers vs ~12 vector calls).
+_TAIL_THRESHOLD = 16
 
 
-def _parallel_block(reps: int, m: int) -> int:
-    """Per-repetition buffer length for the parallel driver.
+def _parallel_streams(gens, m: int) -> UniformStreams:
+    """Streams for the parallel driver: one round consumes <= 2·m + 2."""
+    return UniformStreams(gens, per_rep_min=2 * m + 2, block=_BLOCK)
 
-    One round consumes at most ``2·m + 2`` doubles per repetition, so the
-    block must cover that; above the floor, bigger blocks amortise refill
-    overhead (capped so the whole ``reps × block`` allocation stays modest
-    even at large repetition counts).
+
+def _sequential_streams(gens) -> UniformStreams:
+    """Streams for the sequential driver, aligned to the serial fetch grid."""
+    return UniformStreams(
+        gens, per_rep_min=1, align=_SERIAL_SEQ_BLOCK, block=_BLOCK
+    )
+
+
+def stream_block(process: str, reps: int, num_particles: int) -> int:
+    """Per-repetition streaming chunk (doubles) a batched run allocates.
+
+    The synchronous drivers' own sizing export — resolved through the same
+    :func:`repro.utils.rng.resolve_stream_block` the drivers' allocations
+    use, so reported sizes always match reality (pinned by
+    ``tests/test_streaming_buffers.py``).
     """
-    return max(2 * m + 2, _BLOCK if reps * 65536 * 8 > 2**28 else 65536)
+    if process == "parallel":
+        return resolve_stream_block(
+            reps, per_rep_min=2 * num_particles + 2, block=_BLOCK
+        )
+    if process == "sequential":
+        return resolve_stream_block(
+            reps, per_rep_min=1, align=_SERIAL_SEQ_BLOCK, block=_BLOCK
+        )
+    raise ValueError(f"no synchronous batched driver for process {process!r}")
 
 
 def buffer_doubles(process: str, reps: int, num_particles: int) -> int:
-    """Uniform-buffer doubles a batched run would allocate.
+    """Uniform-buffer doubles a batched run allocates (reporting only).
 
-    The single source of truth for buffer sizing — the runner's auto
-    dispatch uses it to decline batching when the allocation would be
-    excessive.  Covers the continuous/uniform drivers of
-    :mod:`repro.core.batched_continuous` too (one lane per repetition,
-    one fixed-size buffer row each).
+    Consults the sizing export of the module that actually owns the
+    driver: the synchronous processes resolve here, the tick-scheduled
+    ones — **including** ``c-sequential``, whose driver lives in
+    :mod:`repro.core.batched_continuous` — through that module's
+    ``stream_block``.  The old version sized every non-continuous process
+    with this module's block constant, which reported a size unrelated to
+    what the owning driver allocated.  Since the streaming scheme bounds
+    the total by construction, this is no longer a dispatch input, just
+    an introspection helper.
     """
-    if process == "parallel":
-        return reps * _parallel_block(reps, num_particles)
-    if process in ("ctu", "uniform"):
-        from repro.core.batched_continuous import _BLOCK as _CONT_BLOCK
+    if process in ("ctu", "uniform", "c-sequential"):
+        from repro.core.batched_continuous import (
+            stream_block as continuous_stream_block,
+        )
 
-        return reps * _CONT_BLOCK
-    return reps * _BLOCK
+        return reps * continuous_stream_block(process, reps, num_particles)
+    return reps * stream_block(process, reps, num_particles)
 
 
 def _resolve_generators(seeds, seed, reps) -> list[np.random.Generator]:
@@ -111,9 +180,153 @@ def _resolve_generators(seeds, seed, reps) -> list[np.random.Generator]:
     return spawn_generators(seed, reps)
 
 
+def _resolve_tail_threshold(tail_threshold) -> int:
+    if tail_threshold is None:
+        return _TAIL_THRESHOLD
+    threshold = int(tail_threshold)
+    if threshold < 0:
+        raise ValueError(f"tail_threshold must be >= 0, got {tail_threshold}")
+    return threshold
+
+
 # ----------------------------------------------------------------------
 # Parallel-IDLA
 # ----------------------------------------------------------------------
+def _finish_parallel_rep(
+    adj,
+    occ_row,
+    pids,
+    positions,
+    prio_of,
+    t,
+    free_r,
+    tail: UniformStream,
+    *,
+    lazy,
+    scalar_threshold,
+    use_default_rule,
+    rule,
+    budget,
+    max_rounds,
+    steps_row,
+    settled_row,
+    round_row,
+):
+    """Run one straggler repetition to completion with the scalar micro-loop.
+
+    Continues the repetition's uniform stream through ``tail`` in exactly
+    the serial draw pattern: the lazy wide phase (``k > scalar_threshold``)
+    consumes ``k`` hold gates then ``k`` step uniforms per round, the
+    narrow phase one uniform per particle per round.  Settlement is the
+    serial narrow-phase contest (per vacant vertex, best priority wins).
+    Mutates the repetition's occupancy / steps / settled / round rows.
+    """
+    occl = occ_row.tolist()
+    uniform = tail.uniform
+    k = len(pids)
+    while k and free_r > 0:
+        if k == 1 and not (lazy and k > scalar_threshold):
+            # the common straggler shape: one particle, no competition —
+            # a dedicated micro-loop without the per-round contest
+            p = pids[0]
+            v = positions[0]
+            guard = k > scalar_threshold  # serial wide phase uses csr_step
+            while True:
+                t += 1
+                if t > budget:
+                    raise RuntimeError(
+                        f"parallel IDLA exceeded max_rounds={max_rounds}"
+                    )
+                u = uniform()
+                if lazy:
+                    if u < 0.5:
+                        continue
+                    u = 2.0 * (u - 0.5)
+                nbrs = adj[v]
+                if guard:
+                    d = len(nbrs)
+                    off = int(u * d)
+                    v = nbrs[d - 1 if off >= d else off]
+                else:
+                    v = nbrs[int(u * len(nbrs))]
+                if occl[v]:
+                    continue
+                if not use_default_rule and not rule(t, v, True):
+                    continue
+                occl[v] = True
+                steps_row[p] = t
+                settled_row[p] = v
+                round_row[p] = t
+                return
+        t += 1
+        if t > budget:
+            raise RuntimeError(f"parallel IDLA exceeded max_rounds={max_rounds}")
+        if lazy and k > scalar_threshold:
+            # wide draw pattern: k hold gates, then k step uniforms (the
+            # serial eng.step_lazy order); steps use the csr_step guard
+            gates = tail.take(k)
+            steps_u = tail.take(k)
+            for j in range(k):
+                if gates[j] >= 0.5:
+                    nbrs = adj[positions[j]]
+                    d = len(nbrs)
+                    off = int(steps_u[j] * d)
+                    if off >= d:
+                        off = d - 1
+                    positions[j] = nbrs[off]
+        elif lazy:
+            for j in range(k):
+                u = uniform()
+                if u < 0.5:
+                    continue
+                u = 2.0 * (u - 0.5)
+                nbrs = adj[positions[j]]
+                positions[j] = nbrs[int(u * len(nbrs))]
+        elif k > scalar_threshold:
+            for j in range(k):
+                u = uniform()
+                nbrs = adj[positions[j]]
+                d = len(nbrs)
+                off = int(u * d)
+                if off >= d:
+                    off = d - 1
+                positions[j] = nbrs[off]
+        else:
+            for j in range(k):
+                u = uniform()
+                nbrs = adj[positions[j]]
+                positions[j] = nbrs[int(u * len(nbrs))]
+        best: dict[int, int] = {}
+        for j in range(k):
+            v = positions[j]
+            if occl[v]:
+                continue
+            if not use_default_rule and not rule(t, v, True):
+                continue
+            b = best.get(v)
+            if b is None or prio_of(pids[j]) < prio_of(pids[b]):
+                best[v] = j
+        if not best:
+            continue
+        for j in best.values():
+            p, v = pids[j], positions[j]
+            occl[v] = True
+            free_r -= 1
+            steps_row[p] = t
+            settled_row[p] = v
+            round_row[p] = t
+        drop = set(best.values())
+        pids = [p for j, p in enumerate(pids) if j not in drop]
+        positions = [v for j, v in enumerate(positions) if j not in drop]
+        k = len(pids)
+        if free_r == 0 and k:
+            # repetition complete with surplus particles (m > n): they
+            # walked until the last vertex filled — t steps each
+            for p in pids:
+                steps_row[p] = t
+            break
+
+
 def batched_parallel_idla(
     g: Graph,
     origin=0,
@@ -127,6 +340,7 @@ def batched_parallel_idla(
     num_particles: int | None = None,
     scalar_threshold: int = 16,
     max_rounds: float | None = None,
+    tail_threshold: int | None = None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Parallel-IDLA realisations in lock-step.
 
@@ -140,6 +354,11 @@ def batched_parallel_idla(
     lazy, tie_break, rule, num_particles, scalar_threshold, max_rounds:
         As in :func:`repro.core.parallel.parallel_idla`; ``rule`` must be
         a pure predicate (it is evaluated only on vacant candidates).
+    tail_threshold:
+        Total live-particle count (across repetitions) at which the
+        scalar tail finisher takes over the stragglers; ``0`` disables
+        the handoff, ``None`` uses the module default.  A performance
+        knob only — results are bit-identical either way.
 
     Returns
     -------
@@ -160,6 +379,7 @@ def batched_parallel_idla(
         raise ValueError(f"num_particles must be >= 1, got {m}")
     if tie_break not in ("index", "random"):
         raise ValueError(f"tie_break must be 'index' or 'random', got {tie_break!r}")
+    tail_total = _resolve_tail_threshold(tail_threshold)
     gens = _resolve_generators(seeds, seed, reps)
     R = len(gens)
     if R == 0:
@@ -211,11 +431,10 @@ def batched_parallel_idla(
         rep_ids, pid = rep_ids[alive], pid[alive]
     pos = starts2d[rep_ids, pid].copy()
 
-    block = _parallel_block(R, m)
-    buf = np.empty((R, block), dtype=np.float64)
-    for r, gen in enumerate(gens):
-        gen.random(out=buf[r])
-    buf_flat = buf.reshape(-1)
+    streams = _parallel_streams(gens, m)
+    block = streams.block
+    streams.fill(range(R))
+    buf_flat = streams.flat
     bptr = np.zeros(R, dtype=np.int64)
 
     # per-round flat metadata, recomputed whenever particles leave
@@ -286,11 +505,8 @@ def batched_parallel_idla(
     def refill():
         nonlocal rounds_buffered
         for r in np.flatnonzero(bptr + counts > block):
-            remainder = block - bptr[r]
-            if remainder:
-                buf[r, :remainder] = buf[r, bptr[r] :]
-            gens[r].random(out=buf[r, remainder:])
             bidx[rep_ids == r] -= bptr[r]
+            streams.refill_tail(int(r), int(bptr[r]))
             bptr[r] = 0
         rounds_buffered = buffered_rounds()
 
@@ -308,6 +524,37 @@ def batched_parallel_idla(
     t = 0
 
     while rep_ids.size:
+        if 0 < rep_ids.size <= tail_total:
+            # ---- scalar tail finisher: the lock-step round costs more
+            # than scalar work on the few stragglers left; hand each
+            # surviving repetition its stream mid-flight and finish it
+            # with the serial micro-loop.
+            adj = g.adjacency_lists()
+            for r in np.unique(rep_ids).tolist():
+                mask = rep_ids == r
+                prio_row = prio2d[r] if prio2d is not None else None
+                _finish_parallel_rep(
+                    adj,
+                    occ[r * n : (r + 1) * n],
+                    pid[mask].tolist(),
+                    pos[mask].tolist(),
+                    (lambda p: p)
+                    if prio_row is None
+                    else (lambda p, _row=prio_row: _row[p]),
+                    t,
+                    int(free[r]),
+                    streams.tail(r, int(bptr[r])),
+                    lazy=lazy,
+                    scalar_threshold=scalar_threshold,
+                    use_default_rule=use_default_rule,
+                    rule=rule,
+                    budget=budget,
+                    max_rounds=max_rounds,
+                    steps_row=steps2d[r],
+                    settled_row=settled2d[r],
+                    round_row=round2d[r],
+                )
+            break
         t += 1
         if t > budget:
             raise RuntimeError(f"parallel IDLA exceeded max_rounds={max_rounds}")
@@ -405,6 +652,67 @@ def batched_parallel_idla(
 # ----------------------------------------------------------------------
 # Sequential-IDLA
 # ----------------------------------------------------------------------
+def _finish_sequential_rep(
+    adj,
+    occ_row,
+    starts_r,
+    walker,
+    pos,
+    pstep,
+    tail: UniformStream,
+    *,
+    lazy,
+    use_default_rule,
+    rule,
+    total,
+    budget,
+    max_total_steps,
+    steps_row,
+    settled_row,
+):
+    """Run one straggler repetition to completion with the scalar micro-loop.
+
+    The serial sequential driver's inner loop, continued mid-walk:
+    ``walker`` is the repetition's current particle, ``pstep`` steps into
+    its walk at position ``pos``, with ``total`` stream doubles consumed
+    so far.  Returns the repetition's final consumed-double count (for
+    the generator fast-forward onto the serial fetch grid).
+    """
+    occl = occ_row.tolist()
+    uniform = tail.uniform
+    m = len(starts_r)
+    t = pstep
+    particle = walker
+    while True:
+        u = uniform()
+        total += 1
+        t += 1
+        if total > budget:
+            raise RuntimeError(
+                f"sequential IDLA exceeded max_total_steps={max_total_steps}"
+            )
+        if lazy:
+            if u < 0.5:
+                continue  # hold step: t already counted it
+            u = 2.0 * (u - 0.5)
+        nbrs = adj[pos]
+        pos = nbrs[int(u * len(nbrs))]
+        if occl[pos]:
+            continue
+        if not use_default_rule and not rule(t, pos, True):
+            continue
+        occl[pos] = True
+        steps_row[particle] = t
+        settled_row[particle] = pos
+        particle = instant_settle_chain(
+            occl, starts_r, particle + 1, steps_row, settled_row
+        )
+        if particle == m:
+            return total
+        pos = int(starts_r[particle])
+        t = 0
+
+
 def batched_sequential_idla(
     g: Graph,
     origin=0,
@@ -416,6 +724,7 @@ def batched_sequential_idla(
     rule: StoppingRule | None = None,
     num_particles: int | None = None,
     max_total_steps: float | None = None,
+    tail_threshold: int | None = None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Sequential-IDLA realisations in lock-step.
 
@@ -424,7 +733,14 @@ def batched_sequential_idla(
     advances all of them with a single :func:`csr_step`.  Repetition
     streams, settlement and the instant-settle release chain follow the
     serial driver exactly — entry ``r`` of the result is bit-identical to
-    ``sequential_idla(g, origin, seed=seeds[r], ...)``.
+    ``sequential_idla(g, origin, seed=seeds[r], ...)``, and every
+    repetition's generator finishes at the serial stream position (the
+    Poissonised driver keeps drawing from it).
+
+    ``tail_threshold`` (``0`` disables, ``None`` = module default) is the
+    live-repetition count at which the scalar tail finisher hands each
+    straggler to the serial micro-loop — a performance knob only, results
+    are bit-identical either way.
 
     Note on throughput: with one particle per repetition the batch width
     equals the number of *live* repetitions, so the crossover against the
@@ -438,6 +754,7 @@ def batched_sequential_idla(
         raise ValueError(
             f"sequential IDLA needs 1 <= num_particles <= n, got {m} (n={n})"
         )
+    tail_total = _resolve_tail_threshold(tail_threshold)
     gens = _resolve_generators(seeds, seed, reps)
     R = len(gens)
     if R == 0:
@@ -468,23 +785,52 @@ def batched_sequential_idla(
     live = np.asarray(live_list, dtype=np.int64)
     pos = np.asarray(pos_list, dtype=np.int64)
 
-    buf = np.empty((R, _BLOCK), dtype=np.float64)
-    for r in live_list:
-        gens[r].random(out=buf[r])
-    buf_flat = buf.reshape(-1)
+    streams = _sequential_streams(gens)
+    block = streams.block
+    streams.fill(live_list)
+    buf_flat = streams.flat
     # every live repetition consumes exactly one uniform per tick, so a
     # single shared cursor serves all buffers
     cursor = 0
-    base = live * _BLOCK
+    base = live * block
     vert_off = live * n
     pstep = np.zeros(live.size, dtype=np.int64)  # current particle's step count
+    adj = None  # built lazily when the finisher engages
     indptr_g, indices_g, degrees_g = g.indptr, g.indices, g.degrees
     ticks = 0
 
     while live.size:
-        if cursor == _BLOCK:
-            for r in live:
-                gens[r].random(out=buf[r])
+        if 0 < live.size <= tail_total:
+            # ---- scalar tail finisher: with this few live repetitions
+            # the lock-step tick costs more than the serial micro-loop;
+            # finish each straggler on its own stream, then land its
+            # generator on the serial fetch grid.
+            if adj is None:
+                adj = g.adjacency_lists()
+            for i in range(live.size):
+                r = int(live[i])
+                tail = streams.tail(r, cursor)
+                consumed = _finish_sequential_rep(
+                    adj,
+                    occ[r * n : (r + 1) * n],
+                    starts2d[r],
+                    int(current[r]),
+                    int(pos[i]),
+                    int(pstep[i]),
+                    tail,
+                    lazy=lazy,
+                    use_default_rule=use_default_rule,
+                    rule=rule,
+                    total=ticks,
+                    budget=budget,
+                    max_total_steps=max_total_steps,
+                    steps_row=steps2d[r],
+                    settled_row=settled2d[r],
+                )
+                streams.align_to_serial(r, consumed, tail)
+            break
+        if cursor == block:
+            streams.fill(live.tolist())
             cursor = 0
         u = buf_flat[base + cursor]
         cursor += 1
@@ -522,6 +868,8 @@ def batched_sequential_idla(
                 occ_r, starts2d[r], current[r] + 1, steps2d[r], settled2d[r]
             )
             if walker == m:
+                # every live repetition has consumed `ticks` doubles
+                streams.align_to_serial(r, ticks)
                 finished.append(i)
             else:
                 current[r] = walker
@@ -531,7 +879,7 @@ def batched_sequential_idla(
             keep = np.ones(live.size, dtype=bool)
             keep[finished] = False
             live, pos, pstep = live[keep], pos[keep], pstep[keep]
-            base = live * _BLOCK
+            base = live * block
             vert_off = live * n
 
     results = []

@@ -20,7 +20,11 @@ NumPy double streams are chunk-invariant (``random(a)`` then ``random(b)``
 equals ``random(a + b)`` split), so the per-repetition buffers here can
 be refilled on any schedule whatsoever: only the consumption *order*
 matters, and every tick consumes each live repetition's doubles in the
-serial order.  The transforms use the same NumPy ufuncs (``np.log1p`` is
+serial order.  That is what lets the buffers come from the bounded
+:class:`repro.utils.rng.UniformStreams` scheme (the refill chunk shrinks
+as the repetition count grows, so the allocation never outgrows a fixed
+budget — no more ``_BATCHED_MAX_BUFFER_DOUBLES`` dispatch decline).
+The transforms use the same NumPy ufuncs (``np.log1p`` is
 elementwise-deterministic across array shapes and strides but *not*
 bit-identical to ``math.log1p`` — hence the shared log lane in
 ``UniformStream``), the same truncations and the same division operand
@@ -51,18 +55,47 @@ from repro.core.results import DispersionResult
 from repro.core.sequential import _BLOCK as _SEQ_BLOCK
 from repro.core.settlement import settle_vacant_starts_inorder
 from repro.graphs.csr import Graph
+from repro.utils.rng import UniformStreams, resolve_stream_block
 from repro.walks.continuous import poissonise_steps
 
 __all__ = [
     "batched_ctu_idla",
     "batched_uniform_idla",
     "batched_continuous_sequential_idla",
+    "stream_block",
 ]
 
-#: Per-repetition uniform buffer (doubles).  Any value >= 3 (one tick's
-#: worst-case consumption) yields the same results — chunk-invariance of
-#: the double stream is exactly what the equivalence tests vary this for.
-_BLOCK = 3 * 4096
+#: Test override for the streaming refill chunk (doubles per repetition);
+#: ``None`` auto-sizes through :func:`repro.utils.rng.resolve_stream_block`.
+#: Any value >= 3 (one tick's worst-case consumption) yields the same
+#: results — chunk-invariance of the double stream is exactly what the
+#: equivalence tests vary this for.
+_BLOCK: int | None = None
+
+
+def _lane_streams(gens) -> UniformStreams:
+    """Streams for the tick-scheduled drivers: <= 3 doubles per tick."""
+    return UniformStreams(gens, per_rep_min=3, block=_BLOCK)
+
+
+def stream_block(process: str, reps: int, num_particles: int | None = None) -> int:
+    """Per-repetition streaming chunk (doubles) a batched run allocates.
+
+    The tick-scheduled drivers' own sizing export, consulted by
+    :func:`repro.core.batched.buffer_doubles`.  ``c-sequential`` is owned
+    by this module but rides ``batched_sequential_idla`` for its discrete
+    walks, so its allocation *is* the sequential driver's — delegating
+    here is the fix for the old ``buffer_doubles``, which sized every
+    non-continuous process with :mod:`repro.core.batched`'s block constant
+    regardless of which module's driver (and block) actually ran.
+    """
+    if process == "c-sequential":
+        from repro.core.batched import stream_block as sync_stream_block
+
+        return sync_stream_block("sequential", reps, num_particles)
+    if process in ("ctu", "uniform"):
+        return resolve_stream_block(reps, per_rep_min=3, block=_BLOCK)
+    raise ValueError(f"no tick-scheduled batched driver for process {process!r}")
 
 
 def _init_lanes(R, n, m, starts2d, occ, settledflat, unsflat, orders):
@@ -196,8 +229,10 @@ def batched_ctu_idla(
     laneM = lanes * m
     laneN = lanes * n
 
-    buf = np.empty((R, _BLOCK), dtype=np.float64)
-    cursor = _BLOCK  # forces the initial fill
+    streams = _lane_streams(gens)
+    block = streams.block
+    buf = streams.buf
+    cursor = block  # forces the initial fill
     step = _make_stepper(g)
 
     # Every live lane consumes exactly 3 doubles per tick and all lanes
@@ -205,12 +240,9 @@ def batched_ctu_idla(
     # remainder copy keeps already-drawn doubles when a tick straddles a
     # refill (the serial stream has no block boundaries to respect).
     while lanes.size:
-        if cursor + 3 > _BLOCK:
-            rem = _BLOCK - cursor
+        if cursor + 3 > block:
             for r in lanes.tolist():
-                if rem:
-                    buf[r, :rem] = buf[r, cursor:]
-                gens[r].random(out=buf[r, rem:])
+                streams.refill_tail(r, cursor)
             cursor = 0
         u3 = buf[lanes, cursor : cursor + 3]
         cursor += 3
@@ -351,29 +383,24 @@ def batched_uniform_idla(
     ticksL = np.zeros(lanes.size, dtype=np.int64)
     laneM = lanes * m
     laneN = lanes * n
-    laneB = lanes * _BLOCK
 
-    buf = np.empty((R, _BLOCK), dtype=np.float64)
-    for r in lanes_list:
-        gens[r].random(out=buf[r])
-    bufflat = buf.reshape(-1)
+    streams = _lane_streams(gens)
+    block = streams.block
+    laneB = lanes * block
+    streams.fill(lanes_list)
+    bufflat = streams.flat
     bptrL = np.zeros(lanes.size, dtype=np.int64)
-    refill_countdown = _BLOCK // 3
+    refill_countdown = block // 3
     step = _make_stepper(g)
 
     while lanes.size:
         if refill_countdown <= 0:
-            for li in np.flatnonzero(bptrL + 3 > _BLOCK).tolist():
-                r = int(lanes[li])
-                bp = int(bptrL[li])
-                rem = _BLOCK - bp
-                if rem:
-                    buf[r, :rem] = buf[r, bp:]
-                gens[r].random(out=buf[r, rem:])
+            for li in np.flatnonzero(bptrL + 3 > block).tolist():
+                streams.refill_tail(int(lanes[li]), int(bptrL[li]))
                 bptrL[li] = 0
             # conservative: assumes every lane consumes 3 per tick, and
             # stays a valid lower bound across lane compactions
-            refill_countdown = int(((_BLOCK - bptrL) // 3).min())
+            refill_countdown = int(((block - bptrL) // 3).min())
         refill_countdown -= 1
         base = laneB + bptrL
         # geometric skip draw, consumed only by lanes with k < pool_size

@@ -178,17 +178,21 @@ def run_shard(
 
     ``children`` are the shard's slice of the parent ``SeedSequence``'s
     spawned children, one per repetition, in repetition order.  The shard
-    re-decides batched dispatch with *its own* repetition count — so the
-    ``buffer_doubles`` memory cap of the runner's auto mode applies per
-    worker, and fanning out can enable batching that one oversized
-    in-process batch would have declined.  Returns
-    ``[(dispersion_time, total_steps), ...]`` in repetition order,
-    bit-identical to the in-process paths over the same children.
+    re-decides batched dispatch with *its own* repetition count (the
+    profitability thresholds are per-shard; memory never disqualifies
+    batching since the streaming buffers bound their own allocation).
+    Returns ``[(dispersion_time, total_steps), ...]`` in repetition
+    order, bit-identical to the in-process paths over the same children.
     """
     # Imported here (not at module top) to keep runner -> fanout -> runner
     # from becoming an import cycle; by the time a shard runs, the
     # experiments package is fully initialised.
-    from repro.experiments.runner import BATCHED_DRIVERS, _use_batched, run_process
+    from repro.experiments.runner import (
+        BATCHED_DRIVERS,
+        _use_batched,
+        run_process,
+        serial_kwargs,
+    )
 
     shm, g = attach(spec)
     try:
@@ -200,8 +204,9 @@ def run_shard(
             batch = BATCHED_DRIVERS[process](g, origin, seeds=list(children), **kwargs)
             return [(float(r.dispersion_time), int(r.total_steps)) for r in batch]
         out = []
+        skwargs = serial_kwargs(process, kwargs)
         for child in children:
-            res = run_process(process, g, origin, seed=child, **kwargs)
+            res = run_process(process, g, origin, seed=child, **skwargs)
             out.append((float(res.dispersion_time), int(res.total_steps)))
         return out
     finally:

@@ -31,11 +31,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.batched import (
-    batched_parallel_idla,
-    batched_sequential_idla,
-    buffer_doubles,
-)
+from repro.core.batched import batched_parallel_idla, batched_sequential_idla
 from repro.core.batched_continuous import (
     batched_continuous_sequential_idla,
     batched_ctu_idla,
@@ -94,12 +90,40 @@ _BATCHED_KWARGS = {
         "num_particles",
         "scalar_threshold",
         "max_rounds",
+        "tail_threshold",
     },
-    "sequential": {"lazy", "rule", "num_particles", "max_total_steps"},
+    "sequential": {
+        "lazy",
+        "rule",
+        "num_particles",
+        "max_total_steps",
+        "tail_threshold",
+    },
     "uniform": {"num_particles", "max_ticks"},
     "ctu": {"rate", "num_particles"},
     "c-sequential": {"rate"},
 }
+
+#: Batched-only performance knobs: understood by (some of) the lock-step
+#: drivers but meaningless to the serial oracles, so the serial paths
+#: strip them (for processes whose batched driver accepts them) instead
+#: of crashing the fallback.  Pure performance knobs — stripping never
+#: changes a sample.
+_BATCHED_ONLY_KWARGS = frozenset({"tail_threshold"})
+
+
+def serial_kwargs(process: str, kwargs: dict) -> dict:
+    """Driver kwargs for a serial run: drop batched-only perf knobs.
+
+    Only knobs the process's batched driver actually understands are
+    dropped — an unknown kwarg for this process still reaches the serial
+    driver and raises there, exactly as before.
+    """
+    allowed = _BATCHED_KWARGS.get(process, frozenset())
+    drop = _BATCHED_ONLY_KWARGS & allowed & set(kwargs)
+    if not drop:
+        return kwargs
+    return {k: v for k, v in kwargs.items() if k not in drop}
 
 #: Below these repetition counts the serial drivers' tuned scalar loops
 #: win; at or above them lock-step batching amortises enough dispatch
@@ -113,12 +137,6 @@ _BATCHED_MIN_REPS = {
     "ctu": 16,
     "c-sequential": 64,
 }
-
-#: Cap on the batched drivers' per-run uniform-buffer allocation
-#: (doubles, mirroring the block sizing inside core/batched.py): beyond
-#: this the buffers would run to multi-hundred-MB, so auto dispatch
-#: falls back to serial.
-_BATCHED_MAX_BUFFER_DOUBLES = 2**25
 
 #: Settling-rule types known to be pure (stateless) predicates.  The
 #: batched drivers evaluate rules on far fewer (particle, vertex) pairs
@@ -145,8 +163,10 @@ def _use_batched(process: str, g: Graph, reps: int, n_jobs: int, kwargs, batched
     """Decide whether an in-process estimate runs through the lock-step drivers.
 
     Shard workers call this too (with their shard's repetition count and
-    ``n_jobs=1``), so the buffer-memory cap below applies *per worker*
-    when fanning out rather than disabling batching globally.
+    ``n_jobs=1``).  There is no memory criterion any more: the streaming
+    uniform buffers of :mod:`repro.core.batched` bound their allocation
+    by construction, so graph size and repetition count never disqualify
+    batching.
     """
     if batched not in (True, False, "auto"):
         raise ValueError(f"batched must be True, False or 'auto', got {batched!r}")
@@ -166,9 +186,6 @@ def _use_batched(process: str, g: Graph, reps: int, n_jobs: int, kwargs, batched
         return False
     rule = kwargs.get("rule")
     if rule is not None and type(rule) not in _PURE_RULE_TYPES:
-        return False
-    m = kwargs.get("num_particles") or g.n
-    if buffer_doubles(process, reps, m) > _BATCHED_MAX_BUFFER_DOUBLES:
         return False
     return True
 
@@ -232,8 +249,10 @@ def estimate_dispersion(
         into shared memory and fans contiguous repetition *shards* out
         over a process pool, each worker running the batched driver on
         its shard where profitable (:mod:`repro.experiments.fanout`).
-        Seeds are spawned identically in all modes, so the samples are
-        bit-identical to ``n_jobs=1``.
+        Worker counts above ``reps`` are clamped to ``reps`` (surplus
+        workers could only receive empty shards; ``reps=1`` therefore
+        always runs in-process).  Seeds are spawned identically in all
+        modes, so the samples are bit-identical to ``n_jobs=1``.
     batched:
         ``"auto"`` (default) routes estimates through the lock-step
         drivers of :mod:`repro.core.batched` /
@@ -266,6 +285,9 @@ def estimate_dispersion(
         raise ValueError(f"reps must be >= 1, got {reps}")
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    # surplus workers would only plan empty shards / idle processes;
+    # in particular reps=1 never pays for a process pool at all
+    n_jobs = min(n_jobs, reps)
     children = spawn_seed_sequences(
         seed if seed is not None else stable_seed(g.name, process, origin), reps
     )
@@ -291,7 +313,8 @@ def estimate_dispersion(
         batch = BATCHED_DRIVERS[process](g, origin, seeds=children, **kwargs)
         outcomes = [(float(r.dispersion_time), int(r.total_steps)) for r in batch]
     else:
-        outcomes = [_one_run((process, g, origin, s, kwargs)) for s in children]
+        skwargs = serial_kwargs(process, kwargs)
+        outcomes = [_one_run((process, g, origin, s, skwargs)) for s in children]
     disp = np.asarray([o[0] for o in outcomes])
     tot = np.asarray([o[1] for o in outcomes], dtype=np.int64)
     return DispersionEstimate(

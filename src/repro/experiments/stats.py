@@ -81,7 +81,15 @@ def bootstrap_ci(
         raise ValueError(f"level must be in (0,1), got {level}")
     rng = as_generator(seed)
     idx = rng.integers(0, x.size, size=(resamples, x.size))
-    boots = np.apply_along_axis(stat, 1, x[idx])
+    if stat is np.mean:
+        # vectorised fast path for the default statistic: one reduction
+        # over the resample axis instead of a Python-level loop over
+        # `resamples` rows.  Bit-identical to np.apply_along_axis — both
+        # reduce each contiguous row with NumPy's pairwise summation
+        # (pinned by tests/test_streaming_buffers.py).
+        boots = x[idx].mean(axis=1)
+    else:
+        boots = np.apply_along_axis(stat, 1, x[idx])
     alpha = (1.0 - level) / 2.0
     return float(np.quantile(boots, alpha)), float(np.quantile(boots, 1.0 - alpha))
 

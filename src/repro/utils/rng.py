@@ -23,6 +23,8 @@ __all__ = [
     "spawn_generators",
     "stable_seed",
     "UniformStream",
+    "UniformStreams",
+    "resolve_stream_block",
 ]
 
 
@@ -119,6 +121,15 @@ class UniformStream:
     The first block is drawn lazily: a driver whose process finishes at
     time 0 consumes no randomness at all, exactly like its batched replica.
 
+    ``initial`` primes the stream with already-drawn leftover doubles that
+    are consumed *before* the first generator fetch — the handoff contract
+    of the scalar tail finisher: a batched driver that buffered ahead of
+    consumption passes its unconsumed doubles here, and the finisher's
+    scalar loop continues the very same stream mid-flight.  ``drawn``
+    counts doubles fetched from the generator (the leftover excluded), so
+    callers can reconcile the generator position against the serial
+    drivers' fetch schedule.
+
     Examples
     --------
     >>> s = UniformStream(as_generator(0), block=4)
@@ -127,27 +138,40 @@ class UniformStream:
     True
     """
 
-    __slots__ = ("_rng", "_block", "_u", "_log", "_i")
+    __slots__ = ("_rng", "_block", "_u", "_log", "_i", "_n", "drawn")
 
-    def __init__(self, rng: np.random.Generator, block: int = 16384):
+    def __init__(
+        self, rng: np.random.Generator, block: int = 16384, initial=None
+    ):
         if block < 1:
             raise ValueError(f"block must be >= 1, got {block}")
         self._rng = rng
         self._block = block
-        self._u: list[float] | None = None
+        self.drawn = 0
+        if initial is not None and len(initial):
+            arr = np.ascontiguousarray(initial, dtype=np.float64)
+            self._u = arr.tolist()
+            self._n = arr.size
+        else:
+            self._u: list[float] | None = None
+            self._n = 0
+        # the log lane is computed lazily per block on first log1mu() use:
+        # uniform()/take() consumers (the scalar tail finisher) never pay
         self._log: list[float] | None = None
-        self._i = block
+        self._i = 0
 
     def _refill(self) -> None:
         arr = self._rng.random(self._block)
+        self.drawn += self._block
         self._u = arr.tolist()
-        self._log = np.log1p(-arr).tolist()
+        self._log = None
+        self._n = self._block
         self._i = 0
 
     def uniform(self) -> float:
         """Next double of the stream, as drawn."""
         i = self._i
-        if i == self._block:
+        if i == self._n:
             self._refill()
             i = 0
         self._i = i + 1
@@ -161,11 +185,224 @@ class UniformStream:
         reproducible from the uniform stream by the batched drivers.
         """
         i = self._i
-        if i == self._block:
+        if i == self._n:
             self._refill()
             i = 0
+        log = self._log
+        if log is None:
+            log = self._log = np.log1p(
+                -np.asarray(self._u, dtype=np.float64)
+            ).tolist()
         self._i = i + 1
-        return self._log[i]
+        return log[i]
+
+    def take(self, count: int) -> list[float]:
+        """Next ``count`` doubles of the stream, in draw order.
+
+        Used by the scalar tail finisher to replay the batched drivers'
+        contiguous per-round consumption (e.g. the lazy wide phase's
+        ``k`` hold gates followed by ``k`` step uniforms).
+        """
+        out: list[float] = []
+        remaining = count
+        while remaining:
+            if self._i == self._n:
+                self._refill()
+            j = min(self._n - self._i, remaining)
+            out.extend(self._u[self._i : self._i + j])
+            self._i += j
+            remaining -= j
+        return out
+
+
+#: Total doubles the streaming scheme budgets across *all* repetitions of
+#: one batched run (32 MiB of float64).  The per-repetition chunk shrinks
+#: as the repetition count grows, so the allocation never scales past the
+#: budget *except* through the per-repetition floor (one round's
+#: worst-case consumption must fit — for the parallel driver that is
+#: ``2·m + 2`` doubles, the same order as the lock-step particle state
+#: itself, which no buffer policy can shrink).  This bounded-refill
+#: property is what replaced the old ``_BATCHED_MAX_BUFFER_DOUBLES``
+#: auto-dispatch decline.
+_STREAM_BUDGET_DOUBLES = 2**22
+
+#: Per-repetition chunk ceiling: beyond this, bigger chunks no longer
+#: amortise refill overhead measurably.
+_STREAM_MAX_BLOCK = 65536
+
+
+def resolve_stream_block(
+    reps: int,
+    *,
+    per_rep_min: int = 1,
+    align: int | None = None,
+    block: int | None = None,
+    budget_doubles: int | None = None,
+) -> int:
+    """Per-repetition chunk length the streaming buffer scheme uses.
+
+    The single source of truth for batched buffer sizing — the driver
+    modules' ``stream_block`` reporting helpers and the actual
+    :class:`UniformStreams` allocations both resolve through here, so the
+    reported size always equals the real allocation.
+
+    Parameters
+    ----------
+    reps:
+        Number of repetitions sharing the budget.
+    per_rep_min:
+        Worst-case doubles one repetition consumes before it can refill
+        (e.g. ``2·m + 2`` for one Parallel-IDLA round); the chunk never
+        drops below this.
+    align:
+        Serial fetch-block size (a power of two) the chunk must divide,
+        for drivers whose generators must land on the serial block grid
+        (see :meth:`UniformStreams.align_to_serial`).  When the budget
+        allows a chunk >= ``align``, exactly ``align`` is used.
+    block:
+        Explicit override (tests): used verbatim after validation.
+    budget_doubles:
+        Total budget across repetitions; defaults to 32 MiB of doubles.
+    """
+    if align is not None and align & (align - 1):
+        raise ValueError(f"align must be a power of two, got {align}")
+    if block is not None:
+        if block < per_rep_min:
+            raise ValueError(
+                f"block override {block} below per-repetition minimum "
+                f"{per_rep_min}"
+            )
+        if align is not None and align % block:
+            raise ValueError(
+                f"block override {block} must divide align={align}"
+            )
+        return block
+    budget = _STREAM_BUDGET_DOUBLES if budget_doubles is None else budget_doubles
+    raw = min(_STREAM_MAX_BLOCK, budget // max(reps, 1))
+    if align is not None:
+        if per_rep_min > align:
+            raise ValueError(
+                f"per_rep_min {per_rep_min} cannot exceed align={align}"
+            )
+        if raw >= align:
+            return align
+        # largest power of two <= raw divides the power-of-two align;
+        # climb back up if that violates the per-repetition floor
+        chunk = 1 << max(0, raw.bit_length() - 1)
+        while chunk < per_rep_min:
+            chunk <<= 1
+        return chunk
+    return max(per_rep_min, raw)
+
+
+class UniformStreams:
+    """``R`` lock-step uniform streams over one bounded shared buffer.
+
+    The streaming replacement for the batched drivers' preallocated
+    ``reps × block`` uniform buffers: each repetition draws from its own
+    child generator in serial consumption order, but the refill chunk is
+    sized by :func:`resolve_stream_block` so the whole allocation stays
+    within a fixed budget no matter how many repetitions are in flight.
+    Chunk-invariance of NumPy double streams makes the chunk size
+    invisible in the results — only the consumption order matters — which
+    is also what permits the two mid-stream manoeuvres the scalar tail
+    finisher needs:
+
+    * :meth:`tail` hands one repetition's stream to a scalar loop, its
+      unconsumed buffered doubles travelling along as the
+      :class:`UniformStream` ``initial`` prefix;
+    * :meth:`align_to_serial` fast-forwards a finished repetition's
+      generator onto the serial driver's fetch grid, so callers that keep
+      consuming the generator afterwards (the Poissonised sequential
+      driver's Gamma draws) see exactly the serial stream position.
+
+    Examples
+    --------
+    >>> gens = spawn_generators(0, 3)
+    >>> s = UniformStreams(gens, per_rep_min=2, block=8)
+    >>> s.fill(range(3))
+    >>> ref = spawn_generators(0, 3)[1].random(8)
+    >>> bool(np.array_equal(s.buf[1], ref))
+    True
+    """
+
+    __slots__ = ("gens", "block", "buf", "flat", "fetched", "_align")
+
+    def __init__(
+        self,
+        gens,
+        *,
+        per_rep_min: int = 1,
+        align: int | None = None,
+        block: int | None = None,
+        budget_doubles: int | None = None,
+    ):
+        self.gens = list(gens)
+        self.block = resolve_stream_block(
+            len(self.gens),
+            per_rep_min=per_rep_min,
+            align=align,
+            block=block,
+            budget_doubles=budget_doubles,
+        )
+        self.buf = np.empty((len(self.gens), self.block), dtype=np.float64)
+        self.flat = self.buf.reshape(-1)
+        self.fetched = np.zeros(len(self.gens), dtype=np.int64)
+        self._align = align
+
+    def fill(self, rows) -> None:
+        """Fetch a whole fresh chunk for each repetition in ``rows``."""
+        for r in rows:
+            self.gens[r].random(out=self.buf[r])
+            self.fetched[r] += self.block
+
+    def refill_tail(self, r: int, ptr: int) -> None:
+        """Refill row ``r`` whose next unconsumed double sits at ``ptr``.
+
+        The unconsumed suffix ``buf[r, ptr:]`` moves to the front and
+        ``ptr`` fresh doubles are fetched behind it — the remainder-copy
+        refill for drivers whose per-round consumption can straddle a
+        chunk boundary.
+        """
+        rem = self.block - ptr
+        if rem:
+            self.buf[r, :rem] = self.buf[r, ptr:]
+        if ptr:
+            self.gens[r].random(out=self.buf[r, rem:])
+            self.fetched[r] += ptr
+
+    def tail(self, r: int, ptr: int) -> UniformStream:
+        """Hand repetition ``r``'s stream to a scalar loop, mid-flight.
+
+        Returns a :class:`UniformStream` that first serves the row's
+        unconsumed doubles ``buf[r, ptr:]`` and then continues fetching
+        from the repetition's own generator in ``block``-sized chunks —
+        the same stream, bit for bit, from the scalar side.
+        """
+        return UniformStream(
+            self.gens[r], block=self.block, initial=self.buf[r, ptr:]
+        )
+
+    def align_to_serial(
+        self, r: int, consumed: int, tail: UniformStream | None = None
+    ) -> None:
+        """Fast-forward generator ``r`` onto the serial fetch grid.
+
+        The serial drivers fetch in ``align``-sized blocks (one drawn up
+        front), so after consuming ``consumed`` doubles their generator
+        sits at ``align · max(1, ceil(consumed / align))``.  The streaming
+        chunks here divide ``align`` and are only fetched on demand, so
+        the streamed fetch count never exceeds that position; drawing the
+        difference lands the generator exactly where the serial driver
+        leaves it — required by callers that keep consuming the generator
+        after the walk (Gamma durations of the Poissonised driver).
+        """
+        if self._align is None:
+            return
+        fetched = int(self.fetched[r]) + (0 if tail is None else tail.drawn)
+        target = self._align * max(1, -(-consumed // self._align))
+        if target > fetched:
+            self.gens[r].random(target - fetched)
 
 
 def stable_seed(*parts) -> int:

@@ -243,14 +243,24 @@ def test_runner_auto_dispatch_serialises_stateful_rules():
     assert not _use_batched("parallel", g, 8, 1, {"rule": CountingRule(2)}, "auto")
 
 
-def test_runner_auto_dispatch_respects_buffer_cap():
+def test_runner_auto_dispatch_has_no_memory_decline():
+    """The streaming buffers bound their own allocation, so repetition
+    counts that the old ``_BATCHED_MAX_BUFFER_DOUBLES`` cap declined now
+    batch — and the allocation the drivers report stays within the
+    streaming budget rather than scaling with ``reps × block``."""
+    from repro.core.batched import buffer_doubles
     from repro.experiments.runner import _use_batched
+    from repro.utils.rng import _STREAM_BUDGET_DOUBLES
 
     g = cycle_graph(64)
     assert _use_batched("parallel", g, 100, 1, {}, "auto")
-    # huge repetition counts would allocate GB-scale uniform buffers
-    assert not _use_batched("parallel", g, 50000, 1, {}, "auto")
-    assert not _use_batched("sequential", g, 50000, 1, {}, "auto")
+    assert _use_batched("parallel", g, 50000, 1, {}, "auto")
+    assert _use_batched("sequential", g, 50000, 1, {}, "auto")
+    budget_slack = 50000 * (2 * g.n + 2)  # per-round floor dominates budget
+    assert buffer_doubles("parallel", 50000, g.n) <= max(
+        _STREAM_BUDGET_DOUBLES, budget_slack
+    )
+    assert buffer_doubles("sequential", 50000, g.n) <= _STREAM_BUDGET_DOUBLES
 
 
 # ----------------------------------------------------------------------

@@ -168,22 +168,47 @@ class TestFanoutEstimate:
             )
         assert _segments() - before == set()
 
-    def test_per_shard_buffer_budgeting(self):
-        """Auto dispatch declines a 3000-repetition in-process batch on the
-        buffer cap, but each half-shard of a 2-way fan-out fits — the cap
-        applies per worker, so sharding re-enables batching."""
-        from repro.experiments.runner import (
-            _BATCHED_MAX_BUFFER_DOUBLES,
-            _use_batched,
-        )
-        from repro.core.batched import buffer_doubles
+    def test_shards_batch_at_any_repetition_count(self):
+        """The old buffer cap could decline a large in-process batch that
+        its half-shards would have accepted; with the streaming buffers
+        there is no memory criterion left — full batch and shards both
+        route through the lock-step drivers."""
+        from repro.experiments.runner import _use_batched
 
         g = cycle_graph(8)
         full, half = 3000, 1500  # plan_shards(3000, 2) -> two 1500-rep shards
-        assert buffer_doubles("parallel", full, g.n) > _BATCHED_MAX_BUFFER_DOUBLES
-        assert buffer_doubles("parallel", half, g.n) <= _BATCHED_MAX_BUFFER_DOUBLES
-        assert not _use_batched("parallel", g, full, 1, {}, "auto")
+        assert _use_batched("parallel", g, full, 1, {}, "auto")
         assert _use_batched("parallel", g, half, 1, {}, "auto")
+
+    def test_n_jobs_clamped_to_reps(self, monkeypatch):
+        """n_jobs > reps must not plan empty shards or idle workers: the
+        worker count is clamped to reps, and reps=1 never pays for a
+        process pool at all (regression: n_jobs=4 with reps in {1, 2})."""
+        import repro.experiments.fanout as fanout_mod
+
+        g = cycle_graph(12)
+        ref1 = estimate_dispersion(g, "sequential", reps=1, seed=9, n_jobs=1)
+        ref2 = estimate_dispersion(g, "sequential", reps=2, seed=9, n_jobs=1)
+
+        def _no_pool(*args, **kwargs):
+            raise AssertionError("reps=1 must run in-process, not fan out")
+
+        monkeypatch.setattr(fanout_mod, "fanout_estimate", _no_pool)
+        solo = estimate_dispersion(g, "sequential", reps=1, seed=9, n_jobs=4)
+        assert np.array_equal(ref1.samples, solo.samples)
+        monkeypatch.undo()
+
+        captured = {}
+        real_fanout = fanout_mod.fanout_estimate
+
+        def _spy(*args, **kwargs):
+            captured["n_jobs"] = kwargs["n_jobs"]
+            return real_fanout(*args, **kwargs)
+
+        monkeypatch.setattr(fanout_mod, "fanout_estimate", _spy)
+        duo = estimate_dispersion(g, "sequential", reps=2, seed=9, n_jobs=4)
+        assert captured["n_jobs"] == 2
+        assert np.array_equal(ref2.samples, duo.samples)
 
 
 class TestRunShard:
