@@ -64,9 +64,14 @@ the **serial stream position** (``UniformStreams.align_to_serial``): the
 Poissonised sequential driver keeps consuming the generator after the
 discrete walks, so the fetch grid matters there, not just the values.
 
-``record=True`` and unknown keyword arguments are *not* supported; the
-runner treats that as its cue to fall back to the serial reference path,
-which remains the oracle the batched subsystem is tested against.
+``record=True`` routes the flat per-round state into the chunked
+:class:`repro.core.trajectory.TrajectoryStore` — one slice append per
+round, finalised into the serial drivers' exact ``list[list[int]]``
+trajectories, with straggler repetitions handed to the finisher via
+:meth:`TrajectoryStore.handoff` so the scalar micro-loops keep appending
+to the recorded prefix.  Unknown keyword arguments remain the runner's
+cue to fall back to the serial reference path, which stays the oracle
+the batched subsystem is tested against.
 """
 
 from __future__ import annotations
@@ -82,6 +87,7 @@ from repro.core.settlement import (
     settle_vacant_starts,
 )
 from repro.core.stopping_rules import StoppingRule, standard_rule
+from repro.core.trajectory import TrajectoryStore
 from repro.graphs.csr import Graph
 from repro.utils.rng import (
     UniformStream,
@@ -211,6 +217,7 @@ def _finish_parallel_rep(
     steps_row,
     settled_row,
     round_row,
+    traj_rows=None,
 ):
     """Run one straggler repetition to completion with the scalar micro-loop.
 
@@ -219,10 +226,14 @@ def _finish_parallel_rep(
     consumes ``k`` hold gates then ``k`` step uniforms per round, the
     narrow phase one uniform per particle per round.  Settlement is the
     serial narrow-phase contest (per vacant vertex, best priority wins).
-    Mutates the repetition's occupancy / steps / settled / round rows.
+    Mutates the repetition's occupancy / steps / settled / round rows, and
+    — when recording — appends to ``traj_rows``, the repetition's
+    :meth:`TrajectoryStore.handoff` lists (one vertex per particle per
+    round, holds included, the serial record shape).
     """
     occl = occ_row.tolist()
     uniform = tail.uniform
+    rec = traj_rows is not None
     k = len(pids)
     while k and free_r > 0:
         if k == 1 and not (lazy and k > scalar_threshold):
@@ -230,6 +241,7 @@ def _finish_parallel_rep(
             # a dedicated micro-loop without the per-round contest
             p = pids[0]
             v = positions[0]
+            row = traj_rows[p] if rec else None
             guard = k > scalar_threshold  # serial wide phase uses csr_step
             while True:
                 t += 1
@@ -240,6 +252,8 @@ def _finish_parallel_rep(
                 u = uniform()
                 if lazy:
                     if u < 0.5:
+                        if rec:
+                            row.append(v)
                         continue
                     u = 2.0 * (u - 0.5)
                 nbrs = adj[v]
@@ -249,6 +263,8 @@ def _finish_parallel_rep(
                     v = nbrs[d - 1 if off >= d else off]
                 else:
                     v = nbrs[int(u * len(nbrs))]
+                if rec:
+                    row.append(v)
                 if occl[v]:
                     continue
                 if not use_default_rule and not rule(t, v, True):
@@ -274,14 +290,20 @@ def _finish_parallel_rep(
                     if off >= d:
                         off = d - 1
                     positions[j] = nbrs[off]
+                if rec:
+                    traj_rows[pids[j]].append(positions[j])
         elif lazy:
             for j in range(k):
                 u = uniform()
                 if u < 0.5:
+                    if rec:
+                        traj_rows[pids[j]].append(positions[j])
                     continue
                 u = 2.0 * (u - 0.5)
                 nbrs = adj[positions[j]]
                 positions[j] = nbrs[int(u * len(nbrs))]
+                if rec:
+                    traj_rows[pids[j]].append(positions[j])
         elif k > scalar_threshold:
             for j in range(k):
                 u = uniform()
@@ -291,11 +313,15 @@ def _finish_parallel_rep(
                 if off >= d:
                     off = d - 1
                 positions[j] = nbrs[off]
+                if rec:
+                    traj_rows[pids[j]].append(positions[j])
         else:
             for j in range(k):
                 u = uniform()
                 nbrs = adj[positions[j]]
                 positions[j] = nbrs[int(u * len(nbrs))]
+                if rec:
+                    traj_rows[pids[j]].append(positions[j])
         best: dict[int, int] = {}
         for j in range(k):
             v = positions[j]
@@ -335,6 +361,7 @@ def batched_parallel_idla(
     seeds=None,
     seed=None,
     lazy: bool = False,
+    record: bool = False,
     tie_break: str = "index",
     rule: StoppingRule | None = None,
     num_particles: int | None = None,
@@ -351,9 +378,13 @@ def batched_parallel_idla(
         runner passes the children of one ``SeedSequence``) — or ``reps``
         plus an optional parent ``seed`` from which children are spawned
         exactly like :func:`repro.utils.rng.spawn_generators`.
-    lazy, tie_break, rule, num_particles, scalar_threshold, max_rounds:
+    lazy, record, tie_break, rule, num_particles, scalar_threshold, max_rounds:
         As in :func:`repro.core.parallel.parallel_idla`; ``rule`` must be
         a pure predicate (it is evaluated only on vacant candidates).
+        ``record=True`` keeps full trajectories via the chunked
+        :class:`~repro.core.trajectory.TrajectoryStore` — one vectorised
+        append per round; memory is ``O(total steps)`` as in the serial
+        driver, and entry ``r``'s trajectories are list-identical to it.
     tail_threshold:
         Total live-particle count (across repetitions) at which the
         scalar tail finisher takes over the stragglers; ``0`` disables
@@ -401,6 +432,7 @@ def batched_parallel_idla(
             prio2d[r, 0] = 0
             prio2d[r, 1:] = 1 + gen.permutation(m - 1)
 
+    store = TrajectoryStore(starts2d, n) if record else None
     occ = np.zeros(R * n, dtype=bool)
     free = np.full(R, n, dtype=np.int64)
     steps2d = np.zeros((R, m), dtype=np.int64)
@@ -553,6 +585,7 @@ def batched_parallel_idla(
                     steps_row=steps2d[r],
                     settled_row=settled2d[r],
                     round_row=round2d[r],
+                    traj_rows=store.handoff(r) if store is not None else None,
                 )
             break
         t += 1
@@ -586,6 +619,10 @@ def batched_parallel_idla(
             offsets = (u * deg).astype(np.int64)
             np.minimum(offsets, degm1[pos], out=offsets)
             pos = indices_g[indptr_g[pos] + offsets]
+        if store is not None:
+            # one vertex per active particle per round, holds included —
+            # the serial record shape, appended as one chunked slice
+            store.append(rep_ids, pid, pos)
         bptr += counts
         bidx += counts_exp
         occv = occ[rep_off + pos]
@@ -624,6 +661,7 @@ def batched_parallel_idla(
         compact(keep, np.unique(w_rep))
 
     # ---- per-repetition result assembly
+    traj_all = store.finalize() if store is not None else None
     results = []
     for r in range(R):
         settled = np.flatnonzero(settled2d[r] >= 0)
@@ -642,7 +680,7 @@ def batched_parallel_idla(
                 steps=steps_r,
                 settled_at=settled2d[r].copy(),
                 settle_order=settled[order],
-                trajectories=None,
+                trajectories=None if traj_all is None else traj_all[r],
                 num_particles=None if m == n else m,
             )
         )
@@ -669,17 +707,23 @@ def _finish_sequential_rep(
     max_total_steps,
     steps_row,
     settled_row,
+    traj_rows=None,
 ):
     """Run one straggler repetition to completion with the scalar micro-loop.
 
     The serial sequential driver's inner loop, continued mid-walk:
     ``walker`` is the repetition's current particle, ``pstep`` steps into
     its walk at position ``pos``, with ``total`` stream doubles consumed
-    so far.  Returns the repetition's final consumed-double count (for
-    the generator fast-forward onto the serial fetch grid).
+    so far.  When recording, ``traj_rows`` are the repetition's
+    :meth:`TrajectoryStore.handoff` lists and every step (holds included)
+    appends to the walking particle's row.  Returns the repetition's
+    final consumed-double count (for the generator fast-forward onto the
+    serial fetch grid).
     """
     occl = occ_row.tolist()
     uniform = tail.uniform
+    rec = traj_rows is not None
+    row = traj_rows[walker] if rec else None
     m = len(starts_r)
     t = pstep
     particle = walker
@@ -693,10 +737,14 @@ def _finish_sequential_rep(
             )
         if lazy:
             if u < 0.5:
+                if rec:
+                    row.append(pos)
                 continue  # hold step: t already counted it
             u = 2.0 * (u - 0.5)
         nbrs = adj[pos]
         pos = nbrs[int(u * len(nbrs))]
+        if rec:
+            row.append(pos)
         if occl[pos]:
             continue
         if not use_default_rule and not rule(t, pos, True):
@@ -710,6 +758,7 @@ def _finish_sequential_rep(
         if particle == m:
             return total
         pos = int(starts_r[particle])
+        row = traj_rows[particle] if rec else None
         t = 0
 
 
@@ -721,6 +770,7 @@ def batched_sequential_idla(
     seeds=None,
     seed=None,
     lazy: bool = False,
+    record: bool = False,
     rule: StoppingRule | None = None,
     num_particles: int | None = None,
     max_total_steps: float | None = None,
@@ -740,7 +790,11 @@ def batched_sequential_idla(
     ``tail_threshold`` (``0`` disables, ``None`` = module default) is the
     live-repetition count at which the scalar tail finisher hands each
     straggler to the serial micro-loop — a performance knob only, results
-    are bit-identical either way.
+    are bit-identical either way.  ``record=True`` keeps full
+    trajectories through the chunked
+    :class:`~repro.core.trajectory.TrajectoryStore` (one vectorised
+    append per tick; the finisher continues each straggler's recorded
+    prefix), list-identical to the serial driver's.
 
     Note on throughput: with one particle per repetition the batch width
     equals the number of *live* repetitions, so the crossover against the
@@ -767,6 +821,7 @@ def batched_sequential_idla(
     for r, gen in enumerate(gens):
         starts2d[r] = resolve_origins(g, origin, m, gen)
 
+    store = TrajectoryStore(starts2d, n) if record else None
     occ = np.zeros(R * n, dtype=bool)
     steps2d = np.zeros((R, m), dtype=np.int64)
     settled2d = np.full((R, m), -1, dtype=np.int64)
@@ -826,6 +881,7 @@ def batched_sequential_idla(
                     max_total_steps=max_total_steps,
                     steps_row=steps2d[r],
                     settled_row=settled2d[r],
+                    traj_rows=store.handoff(r) if store is not None else None,
                 )
                 streams.align_to_serial(r, consumed, tail)
             break
@@ -848,6 +904,10 @@ def batched_sequential_idla(
         else:
             pos = csr_step(indptr_g, indices_g, degrees_g, pos, u)
             settling = ~occ[vert_off + pos]
+        if store is not None:
+            # each live repetition's walker appends its post-tick position
+            # (holds included) — the serial record shape
+            store.append(live, current[live], pos)
         if not settling.any():
             continue
         idx = np.flatnonzero(settling)
@@ -882,6 +942,7 @@ def batched_sequential_idla(
             base = live * block
             vert_off = live * n
 
+    traj_all = store.finalize() if store is not None else None
     results = []
     for r in range(R):
         steps_r = steps2d[r].copy()
@@ -896,7 +957,7 @@ def batched_sequential_idla(
                 steps=steps_r,
                 settled_at=settled2d[r].copy(),
                 settle_order=np.arange(m, dtype=np.int64),
-                trajectories=None,
+                trajectories=None if traj_all is None else traj_all[r],
                 num_particles=None if m == n else m,
             )
         )

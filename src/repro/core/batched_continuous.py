@@ -40,9 +40,16 @@ scheduler's swap-remove pool go through the shared helpers in
 :mod:`repro.core.settlement` so both execution modes resolve them
 identically by construction.
 
-``record=True`` and ``faithful_r=True`` are *not* supported; the runner
-treats those as its cue to fall back to the serial reference path, which
-remains the oracle the batched subsystem is tested against.
+``record=True`` routes each tick's ``(repetition, particle, vertex)``
+into the chunked :class:`repro.core.trajectory.TrajectoryStore` (one
+slice append per tick), and Uniform-IDLA's ``faithful_r=True`` runs a
+dedicated lock-step branch that draws the literal i.i.d. schedule — one
+scheduler pick per live repetition per tick, wasted ticks consuming
+exactly one double — recording it through
+:class:`repro.core.trajectory.ScheduleStore` into the same per-repetition
+``result.schedule`` arrays the serial driver attaches.  Both finalise
+bit-identical to the serial oracles, which remain the reference the
+batched subsystem is tested against.
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ from repro.core.origins import resolve_origins
 from repro.core.results import DispersionResult
 from repro.core.sequential import _BLOCK as _SEQ_BLOCK
 from repro.core.settlement import settle_vacant_starts_inorder
+from repro.core.trajectory import ScheduleStore, TrajectoryStore
 from repro.graphs.csr import Graph
 from repro.utils.rng import UniformStreams, resolve_stream_block
 from repro.walks.continuous import poissonise_steps
@@ -161,6 +169,7 @@ def batched_ctu_idla(
     seeds=None,
     seed=None,
     rate: float = 1.0,
+    record: bool = False,
     num_particles: int | None = None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent CTU-IDLA realisations in lock-step.
@@ -172,8 +181,11 @@ def batched_ctu_idla(
         runner passes the children of one ``SeedSequence``) — or ``reps``
         plus an optional parent ``seed``, spawned exactly like
         :func:`repro.utils.rng.spawn_generators`.
-    rate, num_particles:
-        As in :func:`repro.core.continuous.ctu_idla`.
+    rate, record, num_particles:
+        As in :func:`repro.core.continuous.ctu_idla`; ``record=True``
+        keeps full trajectories via the chunked
+        :class:`~repro.core.trajectory.TrajectoryStore`, list-identical
+        to the serial driver's.
 
     Returns
     -------
@@ -206,6 +218,7 @@ def batched_ctu_idla(
     for r, gen in enumerate(gens):
         starts2d[r] = resolve_origins(g, origin, m, gen)
 
+    store = TrajectoryStore(starts2d, n) if record else None
     occ = np.zeros(R * n, dtype=bool)
     posflat = starts2d.reshape(-1).copy()
     stepsflat = np.zeros(R * m, dtype=np.int64)
@@ -259,6 +272,8 @@ def batched_ctu_idla(
         vnew = step(posflat[cell], u3[:, 2])
         posflat[cell] = vnew
         stepsflat[cell] += 1
+        if store is not None:
+            store.append(lanes, p, vnew)
         occv = occ[laneN + vnew]
         if occv.all():
             continue
@@ -289,6 +304,7 @@ def batched_ctu_idla(
             laneM, laneN = laneM[keep], laneN[keep]
 
     # ---- per-repetition result assembly
+    traj_all = store.finalize() if store is not None else None
     results = []
     for r in range(R):
         row = slice(r * m, (r + 1) * m)
@@ -304,7 +320,7 @@ def batched_ctu_idla(
             settled_at=settledflat[row].copy(),
             settle_order=np.asarray(orders[r], dtype=np.int64),
             ticks=float(final_clock[r]),
-            trajectories=None,
+            trajectories=None if traj_all is None else traj_all[r],
             num_particles=None if m == n else m,
         )
         object.__setattr__(result, "settle_clock", settle_clock[row].copy())
@@ -322,20 +338,27 @@ def batched_uniform_idla(
     reps: int | None = None,
     seeds=None,
     seed=None,
+    record: bool = False,
+    faithful_r: bool = False,
     num_particles: int | None = None,
     max_ticks: float | None = None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Uniform-IDLA realisations in lock-step.
 
-    The default (geometric-skip) scheduler mode only; ``faithful_r=True``
-    stays on the serial path.  Entry ``r`` of the result is bit-identical
-    to ``uniform_idla(g, origin, seed=seeds[r], ...)``, including the
-    wasted-tick clock in ``result.ticks``.
+    Both scheduler modes of :func:`repro.core.uniform.uniform_idla` run
+    in lock-step: the default (geometric-skip) mode, and the
+    ``faithful_r=True`` mode that draws the literal i.i.d. schedule —
+    one scheduler pick per live repetition per tick (wasted ticks consume
+    exactly that one double), recorded per repetition and attached as
+    ``result.schedule``.  Entry ``r`` of the result is bit-identical to
+    ``uniform_idla(g, origin, seed=seeds[r], ...)``, including the
+    wasted-tick clock in ``result.ticks`` (and trajectories under
+    ``record=True``).
 
-    Unlike the CTU driver, per-tick consumption varies per lane (2
-    doubles, or 3 while ``k < m-1`` adds the geometric skip draw), so each
-    lane keeps its own buffer pointer; a conservative shared countdown
-    batches the refill checks.
+    Unlike the CTU driver, per-tick consumption varies per lane (the
+    geometric skip and the wasted-tick short-circuit make it 1–3
+    doubles), so each lane keeps its own buffer pointer; a conservative
+    shared countdown batches the refill checks.
     """
     n = g.n
     m = n if num_particles is None else int(num_particles)
@@ -354,6 +377,7 @@ def batched_uniform_idla(
     for r, gen in enumerate(gens):
         starts2d[r] = resolve_origins(g, origin, m, gen)
 
+    store = TrajectoryStore(starts2d, n) if record else None
     occ = np.zeros(R * n, dtype=bool)
     posflat = starts2d.reshape(-1).copy()
     stepsflat = np.zeros(R * m, dtype=np.int64)
@@ -393,6 +417,67 @@ def batched_uniform_idla(
     refill_countdown = block // 3
     step = _make_stepper(g)
 
+    schedules: list[np.ndarray] | None = None
+    if faithful_r:
+        # ---- literal-schedule mode: one i.i.d. pick over particles
+        # ``1..m-1`` per live repetition per tick (the paper's R), drawn
+        # whether or not the tick is wasted; only non-wasted ticks draw
+        # the walk-step double.  The unsettled pool is never consulted —
+        # exactly the serial driver's ``faithful_r`` branch.
+        schedule_store = ScheduleStore(R)
+        pickf = float(m - 1)
+        pick_cap = m - 2
+        refill_countdown = block // 2
+        while lanes.size:
+            if refill_countdown <= 0:
+                for li in np.flatnonzero(bptrL + 2 > block).tolist():
+                    streams.refill_tail(int(lanes[li]), int(bptrL[li]))
+                    bptrL[li] = 0
+                # conservative: assumes every lane consumes 2 per tick
+                refill_countdown = int(((block - bptrL) // 2).min())
+            refill_countdown -= 1
+            base = laneB + bptrL
+            s = (bufflat[base] * pickf).astype(np.int64)
+            np.minimum(s, pick_cap, out=s)
+            p = s + 1
+            schedule_store.append(lanes, p)
+            ticksL += 1
+            if check_budget and (ticksL > budget).any():
+                raise RuntimeError(f"uniform IDLA exceeded max_ticks={max_ticks}")
+            bptrL += 1
+            act = np.flatnonzero(settledflat[laneM + p] < 0)
+            if act.size == 0:
+                continue  # every live lane wasted this tick
+            cell = laneM[act] + p[act]
+            vnew = step(posflat[cell], bufflat[base[act] + 1])
+            posflat[cell] = vnew
+            stepsflat[cell] += 1
+            bptrL[act] += 1
+            if store is not None:
+                store.append(lanes[act], p[act], vnew)
+            occv = occ[laneN[act] + vnew]
+            if occv.all():
+                continue
+            finished = False
+            for j in np.flatnonzero(~occv).tolist():
+                li = int(act[j])
+                r = int(lanes[li])
+                pp = int(p[li])
+                occ[r * n + int(vnew[j])] = True
+                settledflat[r * m + pp] = vnew[j]
+                orders[r].append(pp)
+                kk = int(kL[li]) - 1
+                kL[li] = kk
+                if not kk:
+                    final_ticks[r] = ticksL[li]
+                    finished = True
+            if finished:
+                keep = kL > 0
+                lanes, kL, ticksL = lanes[keep], kL[keep], ticksL[keep]
+                bptrL = bptrL[keep]
+                laneM, laneN, laneB = laneM[keep], laneN[keep], laneB[keep]
+        schedules = schedule_store.finalize()
+
     while lanes.size:
         if refill_countdown <= 0:
             for li in np.flatnonzero(bptrL + 3 > block).tolist():
@@ -423,6 +508,8 @@ def batched_uniform_idla(
         vnew = step(posflat[cell], bufflat[sidx + 1])
         posflat[cell] = vnew
         stepsflat[cell] += 1
+        if store is not None:
+            store.append(lanes, p, vnew)
         bptrL += skip
         bptrL += 2
         occv = occ[laneN + vnew]
@@ -451,26 +538,29 @@ def batched_uniform_idla(
             logqL, ticksL, bptrL = logqL[keep], ticksL[keep], bptrL[keep]
             laneM, laneN, laneB = laneM[keep], laneN[keep], laneB[keep]
 
+    traj_all = store.finalize() if store is not None else None
     results = []
     for r in range(R):
         row = slice(r * m, (r + 1) * m)
         steps_r = stepsflat[row].copy()
-        results.append(
-            DispersionResult(
-                process="uniform",
-                graph_name=g.name,
-                n=n,
-                origin=int(starts2d[r, 0]),
-                dispersion_time=int(steps_r.max()),
-                total_steps=int(steps_r.sum()),
-                steps=steps_r,
-                settled_at=settledflat[row].copy(),
-                settle_order=np.asarray(orders[r], dtype=np.int64),
-                ticks=float(final_ticks[r]),
-                trajectories=None,
-                num_particles=None if m == n else m,
-            )
+        result = DispersionResult(
+            process="uniform",
+            graph_name=g.name,
+            n=n,
+            origin=int(starts2d[r, 0]),
+            dispersion_time=int(steps_r.max()),
+            total_steps=int(steps_r.sum()),
+            steps=steps_r,
+            settled_at=settledflat[row].copy(),
+            settle_order=np.asarray(orders[r], dtype=np.int64),
+            ticks=float(final_ticks[r]),
+            trajectories=None if traj_all is None else traj_all[r],
+            num_particles=None if m == n else m,
         )
+        if schedules is not None:
+            # frozen dataclass: attach like the serial driver does
+            object.__setattr__(result, "schedule", schedules[r])
+        results.append(result)
     return results
 
 
@@ -485,6 +575,7 @@ def batched_continuous_sequential_idla(
     seeds=None,
     seed=None,
     rate: float = 1.0,
+    record: bool = False,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Poissonised Sequential-IDLA realisations.
 
@@ -504,7 +595,7 @@ def batched_continuous_sequential_idla(
     gens = _resolve_generators(seeds, seed, reps)
     if not gens:
         return []
-    walks = batched_sequential_idla(g, origin, seeds=gens)
+    walks = batched_sequential_idla(g, origin, seeds=gens, record=record)
     results = []
     for r, res in enumerate(walks):
         if res.total_steps == 0:
@@ -525,7 +616,7 @@ def batched_continuous_sequential_idla(
             settled_at=res.settled_at,
             settle_order=res.settle_order,
             ticks=float(durations.max()),
-            trajectories=None,
+            trajectories=res.trajectories,
         )
         object.__setattr__(out, "durations", durations)
         results.append(out)

@@ -47,6 +47,13 @@ from repro.utils.rng import UniformStream, as_generator
 
 __all__ = ["uniform_idla", "sample_schedule"]
 
+#: Fetch-block size of the driver's :class:`UniformStream`.  Every draw
+#: is a plain uniform double, so the block size must never influence a
+#: result or a recorded ``faithful_r`` schedule (chunk-invariance of the
+#: NumPy double stream); it is a module constant — rather than a literal
+#: at the call site — so the regression tests can vary it and pin that.
+_BLOCK = 16384
+
 
 def sample_schedule(n: int, length: int, seed=None) -> np.ndarray:
     """i.i.d. uniform schedule over particles ``1..n-1`` (paper's ``R``)."""
@@ -105,7 +112,7 @@ def uniform_idla(
     pool = UnsettledPool(
         settle_vacant_starts_inorder(occupied, starts, settled_at, settle_order)
     )
-    stream = UniformStream(rng)
+    stream = UniformStream(rng, block=_BLOCK)
     schedule: list[int] | None = [] if faithful_r else None
 
     ticks = 0

@@ -173,7 +173,7 @@ def plan_shards(reps: int, n_jobs: int) -> list[tuple[int, int]]:
 
 def run_shard(
     spec: SharedGraphSpec, process: str, origin, children, kwargs, batched
-) -> list[tuple[float, int]]:
+) -> list[tuple[float, int, object, object]]:
     """Worker entry point: run one contiguous repetition shard.
 
     ``children`` are the shard's slice of the parent ``SeedSequence``'s
@@ -181,8 +181,12 @@ def run_shard(
     re-decides batched dispatch with *its own* repetition count (the
     profitability thresholds are per-shard; memory never disqualifies
     batching since the streaming buffers bound their own allocation).
-    Returns ``[(dispersion_time, total_steps), ...]`` in repetition
-    order, bit-identical to the in-process paths over the same children.
+    Returns one :func:`repro.experiments.runner.outcome_of` payload —
+    ``(dispersion_time, total_steps, trajectories, schedule)`` — per
+    repetition, in repetition order, bit-identical to the in-process
+    paths over the same children; trajectories are per-repetition lists,
+    so the parent concatenates shard payloads in ``SeedSequence``-child
+    order and recording survives the process boundary unchanged.
     """
     # Imported here (not at module top) to keep runner -> fanout -> runner
     # from becoming an import cycle; by the time a shard runs, the
@@ -190,6 +194,7 @@ def run_shard(
     from repro.experiments.runner import (
         BATCHED_DRIVERS,
         _use_batched,
+        outcome_of,
         run_process,
         serial_kwargs,
     )
@@ -202,12 +207,12 @@ def run_shard(
             use_batched = _use_batched(process, g, len(children), 1, kwargs, batched)
         if use_batched:
             batch = BATCHED_DRIVERS[process](g, origin, seeds=list(children), **kwargs)
-            return [(float(r.dispersion_time), int(r.total_steps)) for r in batch]
+            return [outcome_of(r) for r in batch]
         out = []
         skwargs = serial_kwargs(process, kwargs)
         for child in children:
             res = run_process(process, g, origin, seed=child, **skwargs)
-            out.append((float(res.dispersion_time), int(res.total_steps)))
+            out.append(outcome_of(res))
         return out
     finally:
         # The graph's CSR arrays view shm.buf: release them before closing
@@ -229,7 +234,7 @@ def _mp_context():
 
 def fanout_estimate(
     g: Graph, process: str, *, origin, children, n_jobs: int, batched, kwargs
-) -> list[tuple[float, int]]:
+) -> list[tuple[float, int, object, object]]:
     """Fan repetition shards out over a shared-memory process pool.
 
     The graph is exported once (not pickled per job), the repetition axis
@@ -255,7 +260,7 @@ def fanout_estimate(
                 )
                 for start, stop in shards
             ]
-            outcomes: list[tuple[float, int]] = []
+            outcomes: list[tuple[float, int, object, object]] = []
             for future in futures:
                 outcomes.extend(future.result())
     return outcomes

@@ -79,12 +79,15 @@ BATCHED_DRIVERS: dict[str, Callable[..., list[DispersionResult]]] = {
 #: The CLI validates ``--lazy`` against this before building a graph.
 LAZY_PROCESSES = frozenset({"sequential", "parallel"})
 
-#: Keyword arguments each batched driver understands; anything else (e.g.
-#: ``record=True`` or ``faithful_r=True``) routes the estimate through
-#: the serial oracle.
+#: Keyword arguments each batched driver understands; anything else (an
+#: unknown kwarg, or an impure settling rule) routes the estimate through
+#: the serial oracle.  ``record=True`` and ``faithful_r=True`` — the last
+#: modes that used to force the serial fallback — now batch through the
+#: chunked trajectory store of :mod:`repro.core.trajectory`.
 _BATCHED_KWARGS = {
     "parallel": {
         "lazy",
+        "record",
         "tie_break",
         "rule",
         "num_particles",
@@ -94,14 +97,15 @@ _BATCHED_KWARGS = {
     },
     "sequential": {
         "lazy",
+        "record",
         "rule",
         "num_particles",
         "max_total_steps",
         "tail_threshold",
     },
-    "uniform": {"num_particles", "max_ticks"},
-    "ctu": {"rate", "num_particles"},
-    "c-sequential": {"rate"},
+    "uniform": {"record", "faithful_r", "num_particles", "max_ticks"},
+    "ctu": {"rate", "record", "num_particles"},
+    "c-sequential": {"rate", "record"},
 }
 
 #: Batched-only performance knobs: understood by (some of) the lock-step
@@ -205,7 +209,16 @@ def run_process(
 
 @dataclass(frozen=True)
 class DispersionEstimate:
-    """Samples + summary for one (graph, process, origin) configuration."""
+    """Samples + summary for one (graph, process, origin) configuration.
+
+    ``trajectories`` (with ``record=True``) holds one ``list[list[int]]``
+    per repetition — repetition ``r``'s per-particle vertex sequences,
+    exactly ``run_process(..., record=True).trajectories`` — and
+    ``schedules`` (Uniform-IDLA with ``faithful_r=True``) one realised
+    schedule array per repetition.  Both are per-repetition lists in
+    ``SeedSequence``-child order, identical across serial / batched /
+    fan-out execution.
+    """
 
     process: str
     graph_name: str
@@ -215,6 +228,8 @@ class DispersionEstimate:
     total_steps: SummaryStats
     samples: np.ndarray
     total_samples: np.ndarray
+    trajectories: list[list[list[int]]] | None = None
+    schedules: list[np.ndarray] | None = None
 
     def format(self) -> str:
         return (
@@ -223,10 +238,26 @@ class DispersionEstimate:
         )
 
 
-def _one_run(args) -> tuple[float, int]:
+def outcome_of(res: DispersionResult) -> tuple[float, int, object, object]:
+    """Per-repetition payload every execution mode returns to the runner.
+
+    ``(dispersion_time, total_steps, trajectories, schedule)`` — the two
+    trailing entries are ``None`` unless the run recorded them; shard
+    workers ship the same shape back across the process boundary, so
+    repetition payloads concatenate identically in every mode.
+    """
+    return (
+        float(res.dispersion_time),
+        int(res.total_steps),
+        res.trajectories,
+        getattr(res, "schedule", None),
+    )
+
+
+def _one_run(args) -> tuple[float, int, object, object]:
     process, g, origin, seed, kwargs = args
     res = run_process(process, g, origin, seed=seed, **kwargs)
-    return float(res.dispersion_time), int(res.total_steps)
+    return outcome_of(res)
 
 
 def estimate_dispersion(
@@ -267,7 +298,11 @@ def estimate_dispersion(
         fall back to serial.  ``batched=True`` skips that purity guard
         and trusts the caller's rule to be stateless.
     kwargs:
-        Forwarded to the driver (``lazy=True``, ``rule=…``, …).
+        Forwarded to the driver (``lazy=True``, ``rule=…``,
+        ``record=True``, …).  ``record=True`` surfaces per-repetition
+        trajectories on the estimate (``faithful_r=True`` likewise the
+        realised Uniform-IDLA schedules); both batch and fan out like
+        every other mode — dispatch stays purely a performance decision.
 
     Examples
     --------
@@ -311,7 +346,7 @@ def estimate_dispersion(
         )
     elif _use_batched(process, g, reps, n_jobs, kwargs, batched):
         batch = BATCHED_DRIVERS[process](g, origin, seeds=children, **kwargs)
-        outcomes = [(float(r.dispersion_time), int(r.total_steps)) for r in batch]
+        outcomes = [outcome_of(r) for r in batch]
     else:
         skwargs = serial_kwargs(process, kwargs)
         outcomes = [_one_run((process, g, origin, s, skwargs)) for s in children]
@@ -326,4 +361,6 @@ def estimate_dispersion(
         total_steps=summarize(tot),
         samples=disp,
         total_samples=tot,
+        trajectories=[o[2] for o in outcomes] if kwargs.get("record") else None,
+        schedules=[o[3] for o in outcomes] if kwargs.get("faithful_r") else None,
     )

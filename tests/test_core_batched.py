@@ -198,20 +198,25 @@ def test_runner_batched_dispatch_is_invisible(process):
 
 def test_runner_batched_rejects_unsupported_kwargs():
     g = cycle_graph(16)
-    with pytest.raises(ValueError, match="record"):
-        estimate_dispersion(g, "parallel", reps=4, seed=0, batched=True, record=True)
+    with pytest.raises(ValueError, match="faithful_r"):
+        estimate_dispersion(
+            g, "parallel", reps=4, seed=0, batched=True, faithful_r=True
+        )
     with pytest.raises(ValueError, match="no batched driver"):
         estimate_dispersion(g, "unknown-process", reps=4, seed=0, batched=True)
     with pytest.raises(ValueError, match="batched must be"):
         estimate_dispersion(g, "parallel", reps=4, seed=0, batched="true")
     # unsupported kwargs are rejected before any fan-out worker starts
-    with pytest.raises(ValueError, match="record"):
+    with pytest.raises(ValueError, match="faithful_r"):
         estimate_dispersion(
-            g, "parallel", reps=4, seed=0, batched=True, n_jobs=2, record=True
+            g, "parallel", reps=4, seed=0, batched=True, n_jobs=2, faithful_r=True
         )
-    # auto silently falls back for unsupported kwargs
-    est = estimate_dispersion(g, "uniform", reps=4, seed=0, faithful_r=True)
-    assert est.dispersion.n == 4
+    # record=True is no longer a serial-only mode: forced batching takes
+    # it and returns the serial trajectories bit for bit
+    ref = estimate_dispersion(g, "parallel", reps=4, seed=0, batched=False, record=True)
+    forced = estimate_dispersion(g, "parallel", reps=4, seed=0, batched=True, record=True)
+    assert np.array_equal(ref.samples, forced.samples)
+    assert ref.trajectories == forced.trajectories
 
 
 def test_runner_auto_dispatch_serialises_stateful_rules():

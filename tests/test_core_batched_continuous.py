@@ -178,6 +178,29 @@ def test_batched_block_size_invariance(monkeypatch, block):
     assert_results_identical(ref_uni, batched_uniform_idla(g, seeds=seeds()))
 
 
+@pytest.mark.parametrize("block", [3, 7, 64])
+def test_batched_faithful_schedule_block_size_invariance(monkeypatch, block):
+    """The recorded ``faithful_r`` schedule and trajectories must be
+    invariant to the streaming refill chunk — the store records what the
+    process *consumed*, never where a buffer happened to refill (guards
+    against fetch-grid drift in the trajectory/schedule stores)."""
+    g = cycle_graph(24)
+
+    def seeds():
+        return spawn_seed_sequences(PARENT_SEED, REPS)
+
+    ref = [
+        uniform_idla(g, seed=s, faithful_r=True, record=True) for s in seeds()
+    ]
+    monkeypatch.setattr(bc, "_BLOCK", block)
+    batch = batched_uniform_idla(g, seeds=seeds(), faithful_r=True, record=True)
+    for s, b in zip(ref, batch):
+        assert np.array_equal(s.schedule, b.schedule)
+        assert s.trajectories == b.trajectories
+        assert s.ticks == b.ticks
+        assert np.array_equal(s.steps, b.steps)
+
+
 def test_serial_stream_block_invariance():
     """The serial oracle itself is chunk-invariant in its stream block."""
     from repro.utils.rng import UniformStream, as_generator
@@ -270,15 +293,21 @@ def test_runner_batched_dispatch_is_invisible(process):
 
 def test_runner_batched_rejects_unsupported_kwargs():
     g = cycle_graph(16)
-    with pytest.raises(ValueError, match="record"):
-        estimate_dispersion(g, "ctu", reps=4, seed=0, batched=True, record=True)
     with pytest.raises(ValueError, match="faithful_r"):
-        estimate_dispersion(
-            g, "uniform", reps=4, seed=0, batched=True, faithful_r=True
-        )
-    # auto silently falls back for the same requests and still works
-    est = estimate_dispersion(g, "uniform", reps=4, seed=0, faithful_r=True)
+        estimate_dispersion(g, "ctu", reps=4, seed=0, batched=True, faithful_r=True)
+    with pytest.raises(ValueError, match="rate"):
+        estimate_dispersion(g, "uniform", reps=4, seed=0, batched=True, rate=2.0)
+    # record / faithful_r are no longer serial-only: forced batching
+    # accepts them and the estimate carries the recorded artefacts
+    est = estimate_dispersion(
+        g, "uniform", reps=4, seed=0, batched=True, faithful_r=True, record=True
+    )
+    ref = estimate_dispersion(
+        g, "uniform", reps=4, seed=0, batched=False, faithful_r=True, record=True
+    )
     assert est.dispersion.n == 4
+    assert est.trajectories == ref.trajectories
+    assert all(np.array_equal(a, b) for a, b in zip(est.schedules, ref.schedules))
 
 
 def test_runner_auto_dispatch_thresholds():

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core import DispersionResult, sequential_idla
+from repro.core import (
+    DispersionResult,
+    batched_sequential_idla,
+    sequential_idla,
+)
+from repro.experiments.io import load_json, save_json, to_jsonable
 from repro.graphs import cycle_graph
 
 
@@ -74,6 +79,25 @@ class TestAccessors:
         with pytest.raises(ValueError, match="record=True"):
             res.block()
 
+    def test_block_requires_recording_on_batched_results(self):
+        """The batched drivers' record=False error path matches serial."""
+        (res,) = batched_sequential_idla(cycle_graph(6), 0, reps=1, seed=1)
+        assert res.trajectories is None
+        with pytest.raises(ValueError, match="trajectories were not recorded"):
+            res.block()
+
+    def test_block_round_trips_recorded_trajectories(self):
+        g = cycle_graph(8)
+        for res in (
+            sequential_idla(g, 0, seed=3, record=True),
+            *batched_sequential_idla(g, 0, reps=1, seed=3, record=True),
+        ):
+            b = res.block()
+            assert b.rows == res.trajectories
+            assert b.endpoints() == res.settled_at.tolist()
+            assert b.row_lengths() == res.steps.tolist()
+            assert b.max_row_length == res.dispersion_time
+
     def test_summary_contains_key_fields(self):
         res = sequential_idla(cycle_graph(6), 0, seed=2)
         s = res.summary()
@@ -83,3 +107,25 @@ class TestAccessors:
         res = make_result()
         with pytest.raises(Exception):
             res.n = 5
+
+
+class TestJsonRoundTrip:
+    def test_trajectory_bearing_result_round_trips(self, tmp_path):
+        """A recorded result survives to_jsonable -> save_json -> load_json
+        with its trajectories (nested Python int lists) intact."""
+        res = sequential_idla(cycle_graph(8), 0, seed=7, record=True)
+        payload = to_jsonable(res)
+        assert payload["trajectories"] == res.trajectories
+        assert payload["steps"] == res.steps.tolist()
+        path = tmp_path / "res.json"
+        save_json(path, res)
+        loaded = load_json(path)
+        assert loaded["trajectories"] == res.trajectories
+        assert loaded["settled_at"] == res.settled_at.tolist()
+        assert loaded["dispersion_time"] == res.dispersion_time
+
+    def test_unrecorded_result_serialises_null_trajectories(self, tmp_path):
+        res = sequential_idla(cycle_graph(8), 0, seed=7)
+        path = tmp_path / "res.json"
+        save_json(path, res)
+        assert load_json(path)["trajectories"] is None

@@ -36,6 +36,35 @@ class TestUniformVariants:
         assert res.is_complete_dispersion()
 
 
+class TestFaithfulScheduleChunkInvariance:
+    """The ``faithful_r`` schedule must not depend on the fetch grid.
+
+    Every draw of the serial driver is a plain uniform double, and NumPy
+    double streams are chunk-invariant — so the stream's block size must
+    never leak into the realised schedule (or any other field).  This
+    regression guards the batched trajectory/schedule store's replay
+    contract against fetch-grid drift: if a future change made a result
+    depend on *where* the serial driver refills, the batched drivers —
+    which refill on a completely different grid — could no longer be
+    bit-identical.
+    """
+
+    @pytest.mark.parametrize("block", [1, 3, 7, 64, 16384])
+    def test_schedule_invariant_to_stream_block(self, monkeypatch, block):
+        import repro.core.uniform as uniform_mod
+
+        g = cycle_graph(20)
+        ref = uniform_idla(g, seed=42, faithful_r=True, record=True)
+        monkeypatch.setattr(uniform_mod, "_BLOCK", block)
+        alt = uniform_idla(g, seed=42, faithful_r=True, record=True)
+        assert np.array_equal(ref.schedule, alt.schedule)
+        assert ref.trajectories == alt.trajectories
+        assert ref.dispersion_time == alt.dispersion_time
+        assert ref.ticks == alt.ticks
+        assert np.array_equal(ref.steps, alt.steps)
+        assert np.array_equal(ref.settled_at, alt.settled_at)
+
+
 class TestCtuVariants:
     def test_num_particles(self):
         res = ctu_idla(complete_graph(16), 0, seed=4, num_particles=6)

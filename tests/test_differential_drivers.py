@@ -1,0 +1,168 @@
+"""Differential driver harness: one sweep pinning every execution mode.
+
+The batched subsystem's whole contract is that **dispatch is purely a
+performance decision**: for every process, running the serial oracle per
+repetition, the lock-step batched driver, or the shared-memory fan-out
+over the children of one ``SeedSequence`` must produce bit-identical
+results — ``τ``, step counts, settlement, settle order, the per-process
+extras (``settle_clock``, ``durations``, the ``faithful_r`` schedule)
+and, since the chunked trajectory store landed, full ``record=True``
+trajectories.
+
+Instead of one hand-written pin per driver per PR, this module sweeps
+the whole matrix in the style of scikit-learn's estimator checks:
+
+    5 processes (+ lazy / faithful_r variants)
+      x {serial oracle, batched lock-step, batched w/ finisher, n_jobs=2}
+        x {record on, record off}
+
+Repetition count and graph are chosen to *straddle the scalar tail
+finisher*: with ``REPS`` below the default ``tail_threshold`` the
+sequential family hands every repetition to the scalar micro-loop
+mid-stream, while the parallel driver starts wide (``reps x particles``
+live walkers) and crosses the threshold only deep in the cycle's
+settlement tail — so both the pure lock-step and the handoff paths are
+exercised and compared against the same serial oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import estimate_dispersion
+from repro.experiments.runner import BATCHED_DRIVERS, PROCESS_DRIVERS
+from repro.graphs import cycle_graph
+from repro.utils.rng import spawn_seed_sequences
+
+PARENT_SEED = 20260731
+REPS = 6  # < default tail_threshold: the sequential finisher engages at once
+GRAPH = cycle_graph(24)
+
+#: (process, driver kwargs) — every supported mode of every process.
+CASES = [
+    ("sequential", {}),
+    ("sequential", {"lazy": True}),
+    ("parallel", {}),
+    ("parallel", {"lazy": True}),
+    ("uniform", {}),
+    ("uniform", {"faithful_r": True}),
+    ("ctu", {}),
+    ("c-sequential", {}),
+]
+
+#: Extra (object.__setattr__) attributes each process attaches.
+EXTRAS = {
+    "ctu": ("settle_clock",),
+    "c-sequential": ("durations",),
+}
+
+#: Processes whose batched driver takes the finisher knob.
+TAIL_TUNABLE = {"sequential", "parallel"}
+
+
+def case_id(case):
+    process, kwargs = case
+    return process + ("-" + ",".join(sorted(kwargs)) if kwargs else "")
+
+
+def assert_result_identical(s, b, extras=()):
+    assert s.process == b.process
+    assert s.graph_name == b.graph_name
+    assert (s.n, s.origin, s.num_particles) == (b.n, b.origin, b.num_particles)
+    assert s.dispersion_time == b.dispersion_time
+    assert s.total_steps == b.total_steps
+    assert s.ticks == b.ticks
+    assert np.array_equal(s.steps, b.steps)
+    assert np.array_equal(s.settled_at, b.settled_at)
+    assert np.array_equal(s.settle_order, b.settle_order)
+    assert s.trajectories == b.trajectories  # None == None when not recording
+    for name in extras:
+        assert np.array_equal(getattr(s, name), getattr(b, name)), name
+
+
+def serial_oracle(process, kwargs, record):
+    return [
+        PROCESS_DRIVERS[process](GRAPH, 0, seed=s, record=record, **kwargs)
+        for s in spawn_seed_sequences(PARENT_SEED, REPS)
+    ]
+
+
+@pytest.mark.parametrize("record", [False, True], ids=["plain", "record"])
+@pytest.mark.parametrize("case", CASES, ids=case_id)
+def test_batched_drivers_match_serial_oracle(case, record):
+    """Lock-step drivers (finisher on and off) vs the serial reference."""
+    process, kwargs = case
+    extras = EXTRAS.get(process, ())
+    if kwargs.get("faithful_r"):
+        extras = (*extras, "schedule")
+    serial = serial_oracle(process, kwargs, record)
+    modes = [{}]
+    if process in TAIL_TUNABLE:
+        # 0 = pure lock-step to the last settlement; default straddles
+        modes.append({"tail_threshold": 0})
+    for mode in modes:
+        batch = BATCHED_DRIVERS[process](
+            GRAPH,
+            0,
+            seeds=spawn_seed_sequences(PARENT_SEED, REPS),
+            record=record,
+            **kwargs,
+            **mode,
+        )
+        assert len(batch) == REPS
+        for s, b in zip(serial, batch):
+            assert_result_identical(s, b, extras)
+            if record:
+                assert b.trajectories is not None
+
+
+@pytest.mark.parametrize("record", [False, True], ids=["plain", "record"])
+@pytest.mark.parametrize("case", CASES, ids=case_id)
+def test_estimate_modes_match_serial_oracle(case, record):
+    """serial / forced-batched / auto / n_jobs=2 estimates, one seed plan."""
+    process, kwargs = case
+    serial = serial_oracle(process, kwargs, record)
+    tau = np.asarray([float(r.dispersion_time) for r in serial])
+    totals = np.asarray([r.total_steps for r in serial], dtype=np.int64)
+    trajectories = [r.trajectories for r in serial] if record else None
+    schedules = (
+        [r.schedule for r in serial] if kwargs.get("faithful_r") else None
+    )
+    for mode in ({"batched": True}, {"batched": "auto"}, {"n_jobs": 2}):
+        est = estimate_dispersion(
+            GRAPH,
+            process,
+            reps=REPS,
+            seed=PARENT_SEED,
+            record=record,
+            **kwargs,
+            **mode,
+        )
+        assert np.array_equal(est.samples, tau), mode
+        assert np.array_equal(est.total_samples, totals), mode
+        assert est.trajectories == trajectories, mode
+        if schedules is None:
+            assert est.schedules is None
+        else:
+            assert all(
+                np.array_equal(a, b) for a, b in zip(est.schedules, schedules)
+            ), mode
+
+
+def test_deep_tail_straddles_finisher_with_recording():
+    """A repetition count above the threshold: the lock-step phase runs
+    first and the finisher takes over only for the last stragglers, so
+    the trajectory store's handoff seeds the scalar micro-loop mid-walk."""
+    g = cycle_graph(32)
+    reps = 24  # > default tail_threshold=16: genuine mid-run handoff
+    for process in ("sequential", "parallel"):
+        serial = [
+            PROCESS_DRIVERS[process](g, 0, seed=s, record=True)
+            for s in spawn_seed_sequences(11, reps)
+        ]
+        batch = BATCHED_DRIVERS[process](
+            g, 0, seeds=spawn_seed_sequences(11, reps), record=True
+        )
+        for s, b in zip(serial, batch):
+            assert_result_identical(s, b)

@@ -132,7 +132,7 @@ class TestFanoutEstimate:
         assert np.array_equal(a.samples, b.samples)
 
     def test_forced_batched_rejects_unsupported_kwargs_before_fanout(self):
-        with pytest.raises(ValueError, match="record"):
+        with pytest.raises(ValueError, match="faithful_r"):
             estimate_dispersion(
                 cycle_graph(12),
                 "parallel",
@@ -140,7 +140,7 @@ class TestFanoutEstimate:
                 seed=0,
                 batched=True,
                 n_jobs=2,
-                record=True,
+                faithful_r=True,
             )
 
     def test_n_jobs_validation(self):

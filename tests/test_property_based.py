@@ -161,6 +161,62 @@ class TestBlockProperties:
                 assert block.rows[block.endpoint_row(v)][-1] == v
 
 
+# ----------------------------------------------------------------------
+# recorded-trajectory invariants (chunked TrajectoryStore, all processes)
+# ----------------------------------------------------------------------
+
+#: (label, batched driver kwargs) covering every recording code path:
+#: lock-step appends, lazy holds, the scalar tail finisher (default
+#: threshold engages immediately at these repetition counts) and the
+#: pure lock-step path (tail_threshold=0 where the knob exists).
+RECORDED_PROCESSES = [
+    ("sequential", {}),
+    ("sequential", {"lazy": True}),
+    ("sequential", {"tail_threshold": 0}),
+    ("parallel", {}),
+    ("parallel", {"lazy": True, "tail_threshold": 0}),
+    ("uniform", {}),
+    ("uniform", {"faithful_r": True}),
+    ("ctu", {}),
+    ("c-sequential", {}),
+]
+
+
+class TestTrajectoryProperties:
+    @given(
+        connected_graphs(max_n=8),
+        st.integers(min_value=0, max_value=2**31),
+        st.sampled_from(RECORDED_PROCESSES),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recorded_trajectories_are_valid_walks(self, g, seed, case, reps):
+        """Every recorded trajectory starts at its origin, moves along CSR
+        edges (staying put only on lazy hold ticks), and — for settled
+        particles — ends at the settlement site after ``steps`` entries."""
+        from repro.experiments.runner import BATCHED_DRIVERS
+        from repro.utils.rng import spawn_seed_sequences
+
+        process, kwargs = case
+        lazy = bool(kwargs.get("lazy"))
+        batch = BATCHED_DRIVERS[process](
+            g, 0, seeds=spawn_seed_sequences(seed, reps), record=True, **kwargs
+        )
+        for res in batch:
+            assert res.trajectories is not None
+            assert len(res.trajectories) == res.m
+            for p, traj in enumerate(res.trajectories):
+                assert traj[0] == 0  # classic single origin
+                for a, b in zip(traj, traj[1:]):
+                    if a == b:
+                        assert lazy, f"non-lazy walk held at {a}"
+                    else:
+                        assert g.has_edge(a, b), f"non-edge ({a}, {b})"
+                assert len(traj) - 1 == res.steps[p]
+                if res.settled_at[p] >= 0:
+                    assert traj[-1] == res.settled_at[p]
+
+
 class TestProcessProperties:
     @given(connected_graphs(), st.integers(min_value=0, max_value=2**31))
     @settings(max_examples=30, deadline=None)
