@@ -1,0 +1,167 @@
+"""Implicit graph families at the million-vertex scale (tracemalloc-pinned).
+
+The whole point of the neighbour-kernel seam: the asymptotic regime the
+paper argues about (Table-1 dispersion as ``n -> oo``) needs graphs whose
+CSR arrays would dominate — or exceed — memory before the first walk
+step.  This bench runs genuine ``reps x n = 10^6`` dispersion estimates
+(partial dispersion: ``num_particles`` walkers, valid for every process
+that accepts ``1 <= m <= n``) on the implicit cycle and the implicit
+1000 x 1000 torus, and **pins the memory claim with tracemalloc**: the
+peak traced allocation of the whole estimate — graph, drivers, streams,
+occupancy — must stay below what the int64 ``indptr``/``indices`` arrays
+*alone* would cost, i.e. resident graph memory is O(1) in ``m``.  At
+``n = 10^8`` (the ROADMAP target this unlocks) the CSR cycle arrays are
+~2.4 GB; the implicit build is still a few integers.
+
+A small cross-build equivalence assertion (implicit vs CSR at n = 512)
+rides along as a sanity anchor; the slot-for-slot contract itself is
+pinned by ``tests/test_graphs_implicit.py`` and the differential harness.
+
+Set ``BENCH_IMPLICIT_*`` environment variables to shrink the workloads
+(CI smoke); the cross-build equivalence anchor asserts at every size,
+while the memory assertions arm only from ``n >= 10^5`` — below that the
+O(reps) uniform stream buffers (fixed ~0.5 MB) dwarf a tiny CSR floor
+and the comparison is meaningless.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.experiments import estimate_dispersion
+from repro.graphs import cycle_graph, torus_graph
+
+N = int(os.environ.get("BENCH_IMPLICIT_N", 1_000_000))
+SIDE = int(os.environ.get("BENCH_IMPLICIT_SIDE", 1000))
+REPS = int(os.environ.get("BENCH_IMPLICIT_REPS", 8))
+PARTICLES = int(os.environ.get("BENCH_IMPLICIT_PARTICLES", 64))
+SEED = 20260808
+FULL_SIZE = (N, SIDE) == (1_000_000, 1000)
+
+#: partial-dispersion workloads: (label, build, process, driver kwargs)
+WORKLOADS = [
+    (
+        f"cycle n={N} sequential",
+        lambda: cycle_graph(N, implicit=True),
+        "sequential",
+        # tail_threshold=0 keeps the run pure lock-step: the finisher's
+        # per-repetition occupancy lists are O(n) Python objects
+        {"num_particles": PARTICLES, "tail_threshold": 0},
+    ),
+    (
+        f"torus {SIDE}x{SIDE} parallel",
+        lambda: torus_graph(SIDE, SIDE, implicit=True),
+        "parallel",
+        {"num_particles": PARTICLES, "tail_threshold": 0},
+    ),
+]
+
+
+def _run_workload(label, build, process, kwargs):
+    tracemalloc.start()
+    try:
+        t0 = time.perf_counter()
+        g = build()
+        est = estimate_dispersion(
+            g, process, reps=REPS, seed=SEED, batched=True, **kwargs
+        )
+        elapsed = time.perf_counter() - t0
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    # what the materialised build's graph arrays alone would cost
+    csr_floor = 8 * (g.n + 1) + 8 * (2 * g.num_edges)
+    assert est.samples.shape == (REPS,)
+    assert np.all(est.samples >= 1), f"{label}: degenerate dispersion times"
+    if g.n >= 10**5:  # below this the O(reps) stream buffers dominate
+        assert peak < csr_floor, (
+            f"{label}: traced peak {peak / 1e6:.1f} MB reached the CSR-array "
+            f"floor {csr_floor / 1e6:.1f} MB — something materialised adjacency"
+        )
+    return {
+        "label": label,
+        "n": g.n,
+        "tau_mean": float(est.samples.mean()),
+        "total_steps": int(est.total_samples.sum()),
+        "elapsed_s": elapsed,
+        "peak_mb": peak / 1e6,
+        "csr_floor_mb": csr_floor / 1e6,
+    }
+
+
+def _cross_build_anchor():
+    """Tiny implicit-vs-CSR equality — the contract the scale run rests on."""
+    a = estimate_dispersion(
+        cycle_graph(512, implicit=True),
+        "sequential",
+        reps=4,
+        seed=SEED,
+        num_particles=16,
+        batched=True,
+    )
+    b = estimate_dispersion(
+        cycle_graph(512),
+        "sequential",
+        reps=4,
+        seed=SEED,
+        num_particles=16,
+        batched=True,
+    )
+    assert np.array_equal(a.samples, b.samples), "implicit diverged from CSR"
+    assert np.array_equal(a.total_samples, b.total_samples)
+
+
+def _experiment():
+    _cross_build_anchor()
+    rows = [_run_workload(*w) for w in WORKLOADS]
+    if FULL_SIZE:
+        for row in rows:
+            assert row["n"] == 10**6, "full-size run must be n = 10^6"
+            # the acceptance claim: whole-estimate peak far below the graph
+            # arrays alone (resident graph memory O(1) in m)
+            assert row["peak_mb"] < row["csr_floor_mb"] / 2, row["label"]
+    return rows
+
+
+def bench_implicit_scale(benchmark, capsys):
+    rows = run_once(benchmark, _experiment)
+    emit(
+        capsys,
+        "implicit_scale",
+        f"Implicit families at scale (reps={REPS}, {PARTICLES} particles, "
+        f"partial dispersion)",
+        [
+            "workload",
+            "n",
+            "mean tau",
+            "total steps",
+            "time (s)",
+            "peak mem (MB)",
+            "CSR floor (MB)",
+        ],
+        [
+            [
+                r["label"],
+                r["n"],
+                round(r["tau_mean"], 1),
+                r["total_steps"],
+                round(r["elapsed_s"], 2),
+                round(r["peak_mb"], 1),
+                round(r["csr_floor_mb"], 1),
+            ]
+            for r in rows
+        ],
+        extra={
+            "memory_contract": (
+                "tracemalloc peak of the whole estimate < int64 "
+                "indptr+indices bytes of the materialised build"
+            ),
+            "cross_build_anchor": "cycle-512 implicit == CSR (bit-identical)",
+            "particles": PARTICLES,
+        },
+    )

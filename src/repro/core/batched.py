@@ -6,8 +6,9 @@ times.  The serial runner replays the full per-round NumPy dispatch cost
 ``Θ(n² log n)`` rounds on a handful of stragglers) that overhead dwarfs
 the useful element work.  The drivers here advance **all repetitions in
 lock-step** instead: one flat state vector concatenates every
-repetition's unsettled particles, one :func:`repro.walks.engine.csr_step`
-gather advances them together, and one lexsort resolves settlement per
+repetition's unsettled particles, one :func:`repro.walks.engine
+.neighbor_step` call advances them together through the graph's slot
+kernel, and one lexsort resolves settlement per
 ``(repetition, vertex)`` cell.  Per-repetition completion masks drop
 finished repetitions from the flat state, so round ``t`` costs
 ``O(live particles at t)`` plus a constant number of NumPy calls — the
@@ -88,7 +89,7 @@ from repro.core.settlement import (
 )
 from repro.core.stopping_rules import StoppingRule, standard_rule
 from repro.core.trajectory import TrajectoryStore
-from repro.graphs.csr import Graph
+from repro.graphs.csr import Graph, neighbor_kernel
 from repro.utils.rng import (
     UniformStream,
     UniformStreams,
@@ -96,7 +97,7 @@ from repro.utils.rng import (
     resolve_stream_block,
     spawn_generators,
 )
-from repro.walks.engine import csr_step
+from repro.walks.engine import neighbor_step
 
 __all__ = [
     "batched_parallel_idla",
@@ -242,7 +243,7 @@ def _finish_parallel_rep(
             p = pids[0]
             v = positions[0]
             row = traj_rows[p] if rec else None
-            guard = k > scalar_threshold  # serial wide phase uses csr_step
+            guard = k > scalar_threshold  # serial wide phase uses the vector step
             while True:
                 t += 1
                 if t > budget:
@@ -279,7 +280,7 @@ def _finish_parallel_rep(
             raise RuntimeError(f"parallel IDLA exceeded max_rounds={max_rounds}")
         if lazy and k > scalar_threshold:
             # wide draw pattern: k hold gates, then k step uniforms (the
-            # serial eng.step_lazy order); steps use the csr_step guard
+            # serial eng.step_lazy order); steps use the vector-step guard
             gates = tail.take(k)
             steps_u = tail.take(k)
             for j in range(k):
@@ -543,16 +544,20 @@ def batched_parallel_idla(
         rounds_buffered = buffered_rounds()
 
     rebuild()
-    indptr_g, indices_g, degrees_g = g.indptr, g.indices, g.degrees
-    degm1 = degrees_g - 1
-    degf = degrees_g.astype(np.float64)
+    kernel = neighbor_kernel(g)
+    degrees_g = g.degrees
     # regular graphs (most of Table 1): constant degree turns the degree
-    # gathers and the indptr gather into scalar arithmetic — the round
-    # body drops from five random gathers to three
-    regular = n > 0 and int(degrees_g.min()) == int(degrees_g.max())
+    # gathers into scalar arithmetic — the round body drops to the uniform
+    # lookup, the slot kernel and the occupancy probe.  The O(n) helper
+    # arrays exist only on the irregular path, so implicit regular
+    # families keep their O(1)-in-m footprint.
+    regular = n > 0 and g.is_regular()
     if regular:
         c_int = int(degrees_g[0])
         c_float = float(c_int)
+    else:
+        degm1 = degrees_g - 1
+        degf = degrees_g.astype(np.float64)
     t = 0
 
     while rep_ids.size:
@@ -600,25 +605,25 @@ def batched_parallel_idla(
             move = u >= 0.5
             # wide phase: independent step uniform; scalar tail: upper half
             ustep = np.where(wide_exp, u2, 2.0 * (u - 0.5))
-            new = csr_step(indptr_g, indices_g, degrees_g, pos, ustep)
+            new = neighbor_step(kernel, degrees_g, pos, ustep)
             pos = np.where(move, new, pos)
         elif regular:
-            # uniform rows make indptr[v] == c·v, so only the uniform
-            # lookup, the CSR hop and the occupancy probe remain gathers
+            # constant degree: offsets come from scalar arithmetic and the
+            # slot kernel resolves them (one CSR hop, or pure arithmetic
+            # on implicit families)
             u = buf_flat[bidx]
             offsets = (u * c_float).astype(np.int64)
             np.minimum(offsets, c_int - 1, out=offsets)
-            offsets += pos * c_int
-            pos = indices_g[offsets]
+            pos = kernel(pos, offsets)
         else:
-            # csr_step inlined with precomputed float degrees / degrees-1
-            # arrays: the fast path is these seven vector ops plus the
+            # neighbor_step inlined with precomputed float degrees /
+            # degrees-1 arrays: the fast path is these vector ops plus the
             # occupancy probe
             u = buf_flat[bidx]
             deg = degf[pos]
             offsets = (u * deg).astype(np.int64)
             np.minimum(offsets, degm1[pos], out=offsets)
-            pos = indices_g[indptr_g[pos] + offsets]
+            pos = kernel(pos, offsets)
         if store is not None:
             # one vertex per active particle per round, holds included —
             # the serial record shape, appended as one chunked slice
@@ -780,7 +785,7 @@ def batched_sequential_idla(
 
     Each repetition has exactly one walking particle at a time, so the
     flat state is one position per live repetition and every tick
-    advances all of them with a single :func:`csr_step`.  Repetition
+    advances all of them with a single :func:`neighbor_step`.  Repetition
     streams, settlement and the instant-settle release chain follow the
     serial driver exactly — entry ``r`` of the result is bit-identical to
     ``sequential_idla(g, origin, seed=seeds[r], ...)``, and every
@@ -851,7 +856,8 @@ def batched_sequential_idla(
     vert_off = live * n
     pstep = np.zeros(live.size, dtype=np.int64)  # current particle's step count
     adj = None  # built lazily when the finisher engages
-    indptr_g, indices_g, degrees_g = g.indptr, g.indices, g.degrees
+    kernel = neighbor_kernel(g)
+    degrees_g = g.degrees
     ticks = 0
 
     while live.size:
@@ -898,11 +904,11 @@ def batched_sequential_idla(
             )
         if lazy:
             move = u >= 0.5
-            new = csr_step(indptr_g, indices_g, degrees_g, pos, 2.0 * (u - 0.5))
+            new = neighbor_step(kernel, degrees_g, pos, 2.0 * (u - 0.5))
             pos = np.where(move, new, pos)
             settling = move & ~occ[vert_off + pos]
         else:
-            pos = csr_step(indptr_g, indices_g, degrees_g, pos, u)
+            pos = neighbor_step(kernel, degrees_g, pos, u)
             settling = ~occ[vert_off + pos]
         if store is not None:
             # each live repetition's walker appends its post-tick position

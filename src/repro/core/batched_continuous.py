@@ -62,7 +62,7 @@ from repro.core.results import DispersionResult
 from repro.core.sequential import _BLOCK as _SEQ_BLOCK
 from repro.core.settlement import settle_vacant_starts_inorder
 from repro.core.trajectory import ScheduleStore, TrajectoryStore
-from repro.graphs.csr import Graph
+from repro.graphs.csr import Graph, neighbor_kernel
 from repro.utils.rng import UniformStreams, resolve_stream_block
 from repro.walks.continuous import poissonise_steps
 
@@ -130,20 +130,22 @@ def _init_lanes(R, n, m, starts2d, occ, settledflat, unsflat, orders):
 def _make_stepper(g: Graph):
     """One-walk-step kernel ``(positions, u) -> new positions``.
 
-    The inlined :func:`repro.walks.engine.csr_step` with precomputed
-    degree arrays; regular graphs (most of Table 1) reduce the indptr and
-    degree gathers to scalar arithmetic.
+    The inlined :func:`repro.walks.engine.neighbor_step` with precomputed
+    degree arrays, resolving slots through the graph's ``neighbor_slots``
+    kernel (CSR gather or implicit arithmetic); regular graphs (most of
+    Table 1) reduce the degree gathers to scalar arithmetic and allocate
+    no O(n) helpers.
     """
-    indptr, indices, degrees = g.indptr, g.indices, g.degrees
-    if g.n > 0 and int(degrees.min()) == int(degrees.max()):
+    kernel = neighbor_kernel(g)
+    degrees = g.degrees
+    if g.n > 0 and g.is_regular():
         c_int = int(degrees[0])
         c_float = float(c_int)
 
         def step(pos, u):
             off = (u * c_float).astype(np.int64)
             np.minimum(off, c_int - 1, out=off)
-            off += pos * c_int
-            return indices[off]
+            return kernel(pos, off)
 
         return step
 
@@ -153,7 +155,7 @@ def _make_stepper(g: Graph):
     def step(pos, u):
         off = (u * degf[pos]).astype(np.int64)
         np.minimum(off, degm1[pos], out=off)
-        return indices[indptr[pos] + off]
+        return kernel(pos, off)
 
     return step
 

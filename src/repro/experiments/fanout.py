@@ -17,6 +17,15 @@ pattern for parallel Monte Carlo over one read-only graph:
 * :func:`run_shard` is the worker entry point and
   :func:`fanout_estimate` orchestrates the pool from the parent.
 
+Implicit families (:mod:`repro.graphs.implicit`) skip the segment
+entirely: their adjacency is arithmetic, so the worker-side rebuild is a
+few integers.  They ship as an
+:class:`~repro.graphs.implicit.ImplicitGraphSpec` ``(family, params)``
+descriptor and :func:`run_shard` dispatches on the spec type — cheaper
+than exporting CSR arrays that were never materialised in the parent
+either.  Both spec routes validate their counts through the shared
+:func:`repro.graphs.csr.check_spec_counts` helper.
+
 Bit-identity across execution modes is preserved because repetition
 ``r`` still consumes child ``r`` of the single parent ``SeedSequence``
 no matter which shard (or dispatch mode) runs it, and the batched
@@ -42,16 +51,19 @@ from __future__ import annotations
 import multiprocessing
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.graphs.csr import Graph
+from repro.graphs.implicit import ImplicitGraph, ImplicitGraphSpec, from_descriptor
 
 __all__ = [
     "SharedGraph",
     "SharedGraphSpec",
+    "ImplicitGraphSpec",
     "attach",
     "plan_shards",
     "run_shard",
@@ -172,15 +184,18 @@ def plan_shards(reps: int, n_jobs: int) -> list[tuple[int, int]]:
 
 
 def run_shard(
-    spec: SharedGraphSpec, process: str, origin, children, kwargs, batched
+    spec, process: str, origin, children, kwargs, batched
 ) -> list[tuple[float, int, object, object]]:
     """Worker entry point: run one contiguous repetition shard.
 
-    ``children`` are the shard's slice of the parent ``SeedSequence``'s
-    spawned children, one per repetition, in repetition order.  The shard
-    re-decides batched dispatch with *its own* repetition count (the
-    profitability thresholds are per-shard; memory never disqualifies
-    batching since the streaming buffers bound their own allocation).
+    ``spec`` is either a :class:`SharedGraphSpec` (attach to the exported
+    CSR segment) or an :class:`ImplicitGraphSpec` (rebuild the arithmetic
+    family locally — no segment exists).  ``children`` are the shard's
+    slice of the parent ``SeedSequence``'s spawned children, one per
+    repetition, in repetition order.  The shard re-decides batched
+    dispatch with *its own* repetition count (the profitability
+    thresholds are per-shard; memory never disqualifies batching since
+    the streaming buffers bound their own allocation).
     Returns one :func:`repro.experiments.runner.outcome_of` payload —
     ``(dispersion_time, total_steps, trajectories, schedule)`` — per
     repetition, in repetition order, bit-identical to the in-process
@@ -199,7 +214,10 @@ def run_shard(
         serial_kwargs,
     )
 
-    shm, g = attach(spec)
+    if isinstance(spec, ImplicitGraphSpec):
+        shm, g = None, from_descriptor(spec)
+    else:
+        shm, g = attach(spec)
     try:
         if batched is True:
             use_batched = True  # validated by the parent before dispatch
@@ -218,10 +236,11 @@ def run_shard(
         # The graph's CSR arrays view shm.buf: release them before closing
         # the mapping (close() raises BufferError while views exist).
         del g
-        try:
-            shm.close()
-        except BufferError:  # pragma: no cover - a driver kept a view alive
-            pass
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - a driver kept a view alive
+                pass
 
 
 def _mp_context():
@@ -237,21 +256,28 @@ def fanout_estimate(
 ) -> list[tuple[float, int, object, object]]:
     """Fan repetition shards out over a shared-memory process pool.
 
-    The graph is exported once (not pickled per job), the repetition axis
-    is sharded contiguously over at most ``n_jobs`` workers, and each
-    worker runs :func:`run_shard` — batched where profitable (or forced
-    via ``batched=True``).  Outcomes come back in repetition order and
-    are bit-identical to ``n_jobs=1`` over the same ``children``.
+    CSR graphs are exported once (not pickled per job); implicit
+    families skip the segment and ship their ``(family, params)``
+    descriptor instead.  The repetition axis is sharded contiguously
+    over at most ``n_jobs`` workers, and each worker runs
+    :func:`run_shard` — batched where profitable (or forced via
+    ``batched=True``).  Outcomes come back in repetition order and are
+    bit-identical to ``n_jobs=1`` over the same ``children``.
     """
     shards = plan_shards(len(children), n_jobs)
-    with SharedGraph(g) as sg:
+    if isinstance(g, ImplicitGraph):
+        exporter, spec = nullcontext(), g.descriptor()
+    else:
+        sg = SharedGraph(g)
+        exporter, spec = sg, sg.spec
+    with exporter:
         with ProcessPoolExecutor(
             max_workers=len(shards), mp_context=_mp_context()
         ) as pool:
             futures = [
                 pool.submit(
                     run_shard,
-                    sg.spec,
+                    spec,
                     process,
                     origin,
                     children[start:stop],

@@ -17,6 +17,8 @@ across the three execution modes:
   repetition *shards* run on a process pool, each shard through the
   batched drivers where profitable (see
   :mod:`repro.experiments.fanout`); batching × processes compose.
+  Implicit families (:mod:`repro.graphs.implicit`) fan out as a tiny
+  ``(family, params)`` descriptor instead of a memory segment.
 
 Because the batched drivers replay the serial uniform streams double for
 double and repetition ``r`` always consumes child ``r`` of one parent
@@ -279,7 +281,9 @@ def estimate_dispersion(
         ``1`` (default) runs in-process; ``> 1`` exports the graph once
         into shared memory and fans contiguous repetition *shards* out
         over a process pool, each worker running the batched driver on
-        its shard where profitable (:mod:`repro.experiments.fanout`).
+        its shard where profitable (:mod:`repro.experiments.fanout`);
+        implicit families ship a ``(family, params)`` descriptor instead
+        of a shared-memory segment.
         Worker counts above ``reps`` are clamped to ``reps`` (surplus
         workers could only receive empty shards; ``reps=1`` therefore
         always runs in-process).  Seeds are spawned identically in all

@@ -8,7 +8,12 @@ Quick start::
 """
 
 from repro.graphs.convert import from_networkx, to_networkx
-from repro.graphs.csr import Graph
+from repro.graphs.csr import Graph, check_spec_counts, neighbor_kernel
+from repro.graphs.implicit import (
+    ImplicitGraph,
+    ImplicitGraphSpec,
+    implicit_graph,
+)
 from repro.graphs.generators import (
     barbell_graph,
     binary_tree_with_path,
@@ -41,6 +46,11 @@ from repro.graphs.properties import (
 
 __all__ = [
     "Graph",
+    "check_spec_counts",
+    "neighbor_kernel",
+    "ImplicitGraph",
+    "ImplicitGraphSpec",
+    "implicit_graph",
     "from_networkx",
     "to_networkx",
     # generators

@@ -30,7 +30,45 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "check_spec_counts", "neighbor_kernel"]
+
+
+def check_spec_counts(n: int, nnz: int | None = None) -> None:
+    """Validate the integer counts of a cross-process graph spec.
+
+    Shared by :meth:`Graph.from_shared` (shared-memory CSR segments) and
+    the implicit-graph descriptor path in :mod:`repro.experiments.fanout`,
+    so both reconstruction routes reject malformed specs with the same
+    error instead of drifting apart.
+    """
+    if nnz is None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got n={n}")
+    elif n < 0 or nnz < 0:
+        raise ValueError(f"n and nnz must be >= 0, got n={n}, nnz={nnz}")
+
+
+def neighbor_kernel(g):
+    """Return the ``neighbor_slots`` kernel of ``g``, or raise clearly.
+
+    Every graph object the walk layer accepts — CSR :class:`Graph` and the
+    arithmetic families in :mod:`repro.graphs.implicit` — exposes
+    ``neighbor_slots(positions, offsets, out=None)``.  A graph-like object
+    without it would previously fail deep inside a driver with an opaque
+    ``AttributeError`` (or, worse, a duck-typed near-miss could walk the
+    wrong edges); binding through this helper turns that into an immediate
+    ``TypeError`` naming the contract.
+    """
+    kernel = getattr(g, "neighbor_slots", None)
+    if not callable(kernel):
+        raise TypeError(
+            f"{type(g).__name__} does not provide a neighbor_slots kernel; "
+            "WalkEngine and the lock-step drivers step graphs through "
+            "neighbor_slots(positions, offsets, out=None) — pass a "
+            "repro.graphs.Graph (CSR), an ImplicitGraph family, or an "
+            "object implementing that method"
+        )
+    return kernel
 
 
 class Graph:
@@ -51,7 +89,7 @@ class Graph:
     for conversion code.
     """
 
-    __slots__ = ("indptr", "indices", "name", "_degrees", "_num_edges")
+    __slots__ = ("indptr", "indices", "name", "_degrees", "_num_edges", "_slot_base")
 
     def __init__(self, indptr, indices, *, name: str = "graph", validate: bool = True):
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
@@ -63,6 +101,7 @@ class Graph:
         self.name = name
         self._degrees = np.diff(indptr)
         self._num_edges: int | None = None
+        self._slot_base: int | None = None  # lazy: constant degree, or -1
         # Freeze the arrays: Graph instances are shared between processes
         # and cached; accidental mutation would corrupt every consumer.
         self.indptr.setflags(write=False)
@@ -159,8 +198,7 @@ class Graph:
         reference to the graph before closing it.
         """
         itemsize = np.dtype(np.int64).itemsize
-        if n < 0 or nnz < 0:
-            raise ValueError(f"n and nnz must be >= 0, got n={n}, nnz={nnz}")
+        check_spec_counts(n, nnz)
         if len(buf) < (n + 1 + nnz) * itemsize:
             raise ValueError(
                 f"buffer too small for n={n}, nnz={nnz}: need "
@@ -239,6 +277,41 @@ class Graph:
     def neighbors(self, v: int) -> np.ndarray:
         """Read-only view of the neighbour array of ``v`` (with multiplicity)."""
         return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_slots(
+        self,
+        positions: np.ndarray,
+        offsets: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorised slot gather: element ``i`` is ``indices[indptr[positions[i]]
+        + offsets[i]]``, i.e. adjacency slot ``offsets[i]`` of vertex
+        ``positions[i]``.
+
+        This is the neighbour-kernel seam: the lock-step drivers and
+        :class:`repro.walks.engine.WalkEngine` never touch ``indptr`` /
+        ``indices`` directly, they call this method — which the implicit
+        families in :mod:`repro.graphs.implicit` replace with pure
+        arithmetic.  Offsets must satisfy ``0 <= offsets[i] <
+        degree(positions[i])`` (drivers guarantee this by construction).
+
+        For regular graphs ``indptr[v] == c * v``, so the indptr gather
+        collapses to one multiply; the constant is detected once and cached.
+        """
+        base = self._slot_base
+        if base is None:
+            regular = self.n > 0 and int(self._degrees.min()) == int(
+                self._degrees.max()
+            )
+            base = self._slot_base = int(self._degrees[0]) if regular else -1
+        if base >= 0:
+            flat = positions * base + offsets
+        else:
+            flat = self.indptr[positions] + offsets
+        if out is None:
+            return self.indices[flat]
+        np.take(self.indices, flat, out=out)
+        return out
 
     def has_edge(self, u: int, v: int) -> bool:
         """True if at least one ``{u, v}`` edge exists."""

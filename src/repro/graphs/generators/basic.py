@@ -14,16 +14,23 @@ from repro.graphs.csr import Graph
 __all__ = ["path_graph", "cycle_graph", "complete_graph", "star_graph"]
 
 
-def path_graph(n: int) -> Graph:
+def path_graph(n: int, *, implicit: bool = False) -> Graph:
     """Path ``P_n`` on vertices ``0 - 1 - ... - (n-1)``.
 
     Paper reference: Theorem 5.4 — ``t_seq(P_n) = t_par(P_n) = (1 ± o(1))
     E[M]`` where ``M`` is the max of ``n`` endpoint-to-endpoint hitting
     times; empirically ``≈ κ_p n² log n`` with ``κ_p ≈ 0.6``.
 
+    ``implicit=True`` returns the arithmetic-adjacency build (same slot
+    order, O(1)-in-m memory; see :mod:`repro.graphs.implicit`).
+
     >>> path_graph(4).degrees.tolist()
     [1, 2, 2, 1]
     """
+    if implicit:
+        from repro.graphs.implicit import ImplicitPath
+
+        return ImplicitPath(n)
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
     if n == 1:
@@ -32,30 +39,44 @@ def path_graph(n: int) -> Graph:
     return Graph.from_edges(n, edges, name=f"path-{n}")
 
 
-def cycle_graph(n: int) -> Graph:
+def cycle_graph(n: int, *, implicit: bool = False) -> Graph:
     """Cycle ``C_n``.
 
     Paper reference: Theorem 5.9 — dispersion time ``Θ(n² log n)`` for both
     processes, matching the regular-graph worst case of Corollary 3.2.
 
+    ``implicit=True`` returns the arithmetic-adjacency build (same slot
+    order, O(1) memory; see :mod:`repro.graphs.implicit`).
+
     >>> cycle_graph(5).is_regular()
     True
     """
+    if implicit:
+        from repro.graphs.implicit import ImplicitCycle
+
+        return ImplicitCycle(n)
     if n < 3:
         raise ValueError(f"cycle needs n >= 3, got {n}")
     edges = [(i, (i + 1) % n) for i in range(n)]
     return Graph.from_edges(n, edges, name=f"cycle-{n}")
 
 
-def complete_graph(n: int) -> Graph:
+def complete_graph(n: int, *, implicit: bool = False) -> Graph:
     """Complete graph ``K_n``.
 
     Paper reference: Theorem 5.2 — ``t_seq(K_n) ~ κ_cc n`` (coupon
     collector's longest wait, κ_cc ≈ 1.255) and ``t_par(K_n) ~ (π²/6) n``.
 
+    ``implicit=True`` returns the arithmetic-adjacency build (same slot
+    order, O(1) memory; see :mod:`repro.graphs.implicit`).
+
     >>> complete_graph(4).num_edges
     6
     """
+    if implicit:
+        from repro.graphs.implicit import ImplicitComplete
+
+        return ImplicitComplete(n)
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
     if n == 1:

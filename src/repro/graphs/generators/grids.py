@@ -34,16 +34,22 @@ def _validate_sides(sides) -> tuple[int, ...]:
     return sides
 
 
-def grid_graph(*sides: int) -> Graph:
+def grid_graph(*sides: int, implicit: bool = False) -> Graph:
     """Finite d-dimensional box grid with the given side lengths.
 
     ``grid_graph(5, 5)`` is the paper's finite 2-d box; vertex ids are
     row-major.  Boundary vertices have smaller degree (the graph is
-    almost-regular for fixed d).
+    almost-regular for fixed d).  ``implicit=True`` returns the
+    arithmetic-adjacency build (same slot order, O(1)-in-m memory; see
+    :mod:`repro.graphs.implicit`).
 
     >>> grid_graph(2, 3).num_edges
     7
     """
+    if implicit:
+        from repro.graphs.implicit import ImplicitGrid
+
+        return ImplicitGrid(*sides)
     sides = _validate_sides(sides)
     strides = _mixed_radix_strides(sides)
     n = int(np.prod(sides))
@@ -66,16 +72,22 @@ def grid_graph(*sides: int) -> Graph:
     return Graph.from_edges(n, edges, name=f"grid-{label}")
 
 
-def torus_graph(*sides: int) -> Graph:
+def torus_graph(*sides: int, implicit: bool = False) -> Graph:
     """d-dimensional torus (grid with wrap-around edges).
 
     Sides of length 1 contribute nothing; sides of length 2 would create a
     parallel edge from wrap-around and are rejected to keep the family
     simple (use ``grid_graph`` or a hypercube for side-2 boxes).
+    ``implicit=True`` returns the arithmetic-adjacency build (same slot
+    order, O(1) memory; see :mod:`repro.graphs.implicit`).
 
     >>> torus_graph(4, 4).is_regular()
     True
     """
+    if implicit:
+        from repro.graphs.implicit import ImplicitTorus
+
+        return ImplicitTorus(*sides)
     sides = _validate_sides(sides)
     if any(s == 2 for s in sides):
         raise ValueError("torus sides must be 1 or >= 3 (side 2 duplicates edges)")
@@ -98,15 +110,21 @@ def torus_graph(*sides: int) -> Graph:
     return Graph.from_edges(n, edges, name=f"torus-{label}")
 
 
-def hypercube_graph(dim: int) -> Graph:
+def hypercube_graph(dim: int, *, implicit: bool = False) -> Graph:
     """Boolean hypercube ``{0,1}^dim`` with ``n = 2^dim`` vertices.
 
     Vertex ids are bit masks; ``u ~ v`` iff they differ in exactly one bit.
     The paper writes ``H_n`` with ``n = 2^k`` vertices (Theorem 5.7).
+    ``implicit=True`` returns the arithmetic-adjacency build (same slot
+    order, O(1) memory; see :mod:`repro.graphs.implicit`).
 
     >>> hypercube_graph(3).degrees.tolist() == [3] * 8
     True
     """
+    if implicit:
+        from repro.graphs.implicit import ImplicitHypercube
+
+        return ImplicitHypercube(dim)
     if dim < 1:
         raise ValueError(f"dim must be >= 1, got {dim}")
     n = 1 << dim

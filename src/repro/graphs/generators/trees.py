@@ -25,15 +25,21 @@ __all__ = [
 ]
 
 
-def complete_binary_tree(height: int) -> Graph:
+def complete_binary_tree(height: int, *, implicit: bool = False) -> Graph:
     """Complete binary tree of the given height (root = vertex 0).
 
     The tree has ``n = 2^(height+1) - 1`` vertices in heap order: children
     of ``i`` are ``2i + 1`` and ``2i + 2``.  Height 0 is a single vertex.
+    ``implicit=True`` returns the arithmetic-adjacency build (same slot
+    order, O(1)-in-m memory; see :mod:`repro.graphs.implicit`).
 
     >>> complete_binary_tree(2).n
     7
     """
+    if implicit:
+        from repro.graphs.implicit import ImplicitBinaryTree
+
+        return ImplicitBinaryTree(height)
     if height < 0:
         raise ValueError(f"height must be >= 0, got {height}")
     n = (1 << (height + 1)) - 1

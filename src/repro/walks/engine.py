@@ -1,23 +1,50 @@
 """Vectorised multi-walker stepping — the library's innermost hot loop.
 
-One synchronous step for ``k`` walkers costs three NumPy gathers:
+One synchronous step for ``k`` walkers costs a degree gather, an offset
+computation and one neighbour-slot resolution:
 
-    ``deg = degrees[pos]; off = floor(U * deg); new = indices[indptr[pos] + off]``
+    ``deg = degrees[pos]; off = floor(U * deg); new = slots(pos, off)``
 
-which is cache-friendly (contiguous CSR arrays) and allocation-free when an
-output buffer is supplied.  This is the "vectorise the for loop" pattern
-from the HPC guide applied to the Parallel-IDLA inner loop, where all
-unsettled particles advance together.
+where ``slots`` is the graph's ``neighbor_slots`` kernel — an
+``indices[indptr[pos] + off]`` CSR gather for :class:`repro.graphs.Graph`,
+or pure arithmetic for the implicit families in
+:mod:`repro.graphs.implicit`.  :func:`neighbor_step` is that one step;
+:class:`WalkEngine` binds the kernel once per graph.  This is the
+"vectorise the for loop" pattern from the HPC guide applied to the
+Parallel-IDLA inner loop, where all unsettled particles advance together.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.graphs.csr import Graph
+from repro.graphs.csr import Graph, neighbor_kernel
 from repro.utils.rng import as_generator
 
-__all__ = ["WalkEngine", "csr_step"]
+__all__ = ["WalkEngine", "csr_step", "neighbor_step"]
+
+
+def neighbor_step(
+    kernel,
+    degrees: np.ndarray,
+    positions: np.ndarray,
+    u: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """One simple-random-walk step through a graph-provided slot kernel.
+
+    ``kernel`` is ``g.neighbor_slots`` (bind it via
+    :func:`repro.graphs.csr.neighbor_kernel` for a clear error on
+    kernel-less objects); ``u`` and ``positions`` must share a 1-D shape.
+    Shared by :class:`WalkEngine` and the batched cross-repetition drivers
+    in :mod:`repro.core.batched`, which assemble ``u`` from per-repetition
+    streams.
+    """
+    deg = degrees[positions]
+    offsets = (u * deg).astype(np.int64)
+    # floating-point guard: u < 1 ensures offsets < deg, but be explicit
+    np.minimum(offsets, deg - 1, out=offsets)
+    return kernel(positions, offsets, out)
 
 
 def csr_step(
@@ -28,13 +55,11 @@ def csr_step(
     u: np.ndarray,
     out: np.ndarray | None = None,
 ) -> np.ndarray:
-    """One simple-random-walk step for a flat position vector.
+    """One simple-random-walk step for raw CSR arrays (legacy entry point).
 
-    The library's innermost kernel: three CSR gathers driven by one
-    pre-drawn uniform per walker (``u`` and ``positions`` must have the
-    same 1-D shape).  Shared by :class:`WalkEngine` and the batched
-    cross-repetition drivers in :mod:`repro.core.batched`, which assemble
-    ``u`` from per-repetition streams.
+    Kept for callers holding bare ``indptr``/``indices``/``degrees``
+    arrays; graph-bound code should use :func:`neighbor_step`, which works
+    for implicit families too.
     """
     deg = degrees[positions]
     offsets = (u * deg).astype(np.int64)
@@ -67,13 +92,12 @@ class WalkEngine:
     True
     """
 
-    __slots__ = ("graph", "rng", "_indptr", "_indices", "_degrees")
+    __slots__ = ("graph", "rng", "_kernel", "_degrees")
 
     def __init__(self, g: Graph, seed=None):
         self.graph = g
         self.rng = as_generator(seed)
-        self._indptr = g.indptr
-        self._indices = g.indices
+        self._kernel = neighbor_kernel(g)
         self._degrees = g.degrees
 
     # ------------------------------------------------------------------
@@ -84,7 +108,7 @@ class WalkEngine:
         updates (aliasing is safe: all reads happen before the write).
         """
         u = self.rng.random(positions.shape[0])
-        return csr_step(self._indptr, self._indices, self._degrees, positions, u, out)
+        return neighbor_step(self._kernel, self._degrees, positions, u, out)
 
     def step_batch(
         self,
@@ -141,9 +165,8 @@ class WalkEngine:
             if not out.flags.c_contiguous:
                 raise ValueError("out must be C-contiguous")
             flat_out = out.reshape(-1)
-        result = csr_step(
-            self._indptr,
-            self._indices,
+        result = neighbor_step(
+            self._kernel,
             self._degrees,
             positions.reshape(-1),
             np.ascontiguousarray(u).reshape(-1),

@@ -23,6 +23,14 @@ mid-stream, while the parallel driver starts wide (``reps x particles``
 live walkers) and crosses the threshold only deep in the cycle's
 settlement tail — so both the pure lock-step and the handoff paths are
 exercised and compared against the same serial oracle.
+
+Since the neighbour-kernel seam landed, the whole matrix additionally
+runs on the *implicit* build of the same family (``cycle_graph(24,
+implicit=True)``): the serial oracle always runs on the CSR build, so
+each implicit case pins cross-build bit-identity through every driver —
+including the descriptor round-trip across the ``n_jobs=2`` shard
+boundary, where the implicit graph ships as ``(family, params)`` instead
+of a shared-memory segment.
 """
 
 from __future__ import annotations
@@ -37,7 +45,14 @@ from repro.utils.rng import spawn_seed_sequences
 
 PARENT_SEED = 20260731
 REPS = 6  # < default tail_threshold: the sequential finisher engages at once
-GRAPH = cycle_graph(24)
+GRAPH = cycle_graph(24)  # the serial oracle's build — always CSR
+
+#: The graph the mode-under-test runs on: the CSR build (classic
+#: self-consistency) or the implicit build (cross-build bit-identity).
+GRAPH_BUILDS = {
+    "csr": GRAPH,
+    "implicit": cycle_graph(24, implicit=True),
+}
 
 #: (process, driver kwargs) — every supported mode of every process.
 CASES = [
@@ -88,9 +103,10 @@ def serial_oracle(process, kwargs, record):
     ]
 
 
+@pytest.mark.parametrize("build", GRAPH_BUILDS, ids=GRAPH_BUILDS)
 @pytest.mark.parametrize("record", [False, True], ids=["plain", "record"])
 @pytest.mark.parametrize("case", CASES, ids=case_id)
-def test_batched_drivers_match_serial_oracle(case, record):
+def test_batched_drivers_match_serial_oracle(case, record, build):
     """Lock-step drivers (finisher on and off) vs the serial reference."""
     process, kwargs = case
     extras = EXTRAS.get(process, ())
@@ -103,7 +119,7 @@ def test_batched_drivers_match_serial_oracle(case, record):
         modes.append({"tail_threshold": 0})
     for mode in modes:
         batch = BATCHED_DRIVERS[process](
-            GRAPH,
+            GRAPH_BUILDS[build],
             0,
             seeds=spawn_seed_sequences(PARENT_SEED, REPS),
             record=record,
@@ -117,9 +133,10 @@ def test_batched_drivers_match_serial_oracle(case, record):
                 assert b.trajectories is not None
 
 
+@pytest.mark.parametrize("build", GRAPH_BUILDS, ids=GRAPH_BUILDS)
 @pytest.mark.parametrize("record", [False, True], ids=["plain", "record"])
 @pytest.mark.parametrize("case", CASES, ids=case_id)
-def test_estimate_modes_match_serial_oracle(case, record):
+def test_estimate_modes_match_serial_oracle(case, record, build):
     """serial / forced-batched / auto / n_jobs=2 estimates, one seed plan."""
     process, kwargs = case
     serial = serial_oracle(process, kwargs, record)
@@ -131,7 +148,7 @@ def test_estimate_modes_match_serial_oracle(case, record):
     )
     for mode in ({"batched": True}, {"batched": "auto"}, {"n_jobs": 2}):
         est = estimate_dispersion(
-            GRAPH,
+            GRAPH_BUILDS[build],
             process,
             reps=REPS,
             seed=PARENT_SEED,
@@ -150,15 +167,19 @@ def test_estimate_modes_match_serial_oracle(case, record):
             ), mode
 
 
-def test_deep_tail_straddles_finisher_with_recording():
+@pytest.mark.parametrize("build", ["csr", "implicit"])
+def test_deep_tail_straddles_finisher_with_recording(build):
     """A repetition count above the threshold: the lock-step phase runs
     first and the finisher takes over only for the last stragglers, so
-    the trajectory store's handoff seeds the scalar micro-loop mid-walk."""
-    g = cycle_graph(32)
+    the trajectory store's handoff seeds the scalar micro-loop mid-walk.
+    On the implicit build the finisher's adjacency access goes through
+    the lazy per-vertex view instead of materialised lists."""
+    oracle_g = cycle_graph(32)
+    g = cycle_graph(32, implicit=(build == "implicit"))
     reps = 24  # > default tail_threshold=16: genuine mid-run handoff
     for process in ("sequential", "parallel"):
         serial = [
-            PROCESS_DRIVERS[process](g, 0, seed=s, record=True)
+            PROCESS_DRIVERS[process](oracle_g, 0, seed=s, record=True)
             for s in spawn_seed_sequences(11, reps)
         ]
         batch = BATCHED_DRIVERS[process](

@@ -1,0 +1,313 @@
+"""Family-equivalence property harness for the implicit graph families.
+
+The lemma that makes driver bit-identity automatic: every driver consumes
+uniforms as ``off = floor(u * deg)`` and steps to adjacency *slot*
+``off``, so if an implicit family is slot-for-slot equal to its
+materialising CSR generator (``implicit.neighbor_slots(v, k) ==
+indices[indptr[v] + k]`` for every valid ``(v, k)``) and degree-equal,
+then every walk — serial, batched, finisher, fanned-out — is bit-identical
+between the two builds with zero RNG changes.  This module pins that
+lemma for every family over a size sweep including the odd/edge sizes
+(n = 1, 2, side-1 torus axes, non-power-of-two hypercube rejections,
+unbalanced tree sizes), plus protocol parity (degrees, num_edges, names,
+regularity), descriptor round-trips, and the memory-budget regression
+that proves no code path silently materialises ``O(n + m)`` adjacency.
+"""
+
+from __future__ import annotations
+
+import pickle
+import tracemalloc
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.experiments import estimate_dispersion
+from repro.graphs import (
+    Graph,
+    ImplicitGraph,
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    implicit_graph,
+    neighbor_kernel,
+    path_graph,
+    torus_graph,
+)
+from repro.graphs.implicit import ImplicitGraphSpec, from_descriptor
+from repro.walks import WalkEngine
+
+#: (family id, builder) x size sweep — every structured Table-1 family.
+FAMILIES = [
+    ("cycle", cycle_graph, [3, 4, 5, 8, 24, 31]),
+    ("path", path_graph, [1, 2, 3, 7, 24]),
+    ("complete", complete_graph, [1, 2, 3, 7, 24]),
+]
+GRID_SIDES = [(1,), (2,), (3,), (2, 3), (4, 4), (1, 5), (3, 1, 4), (2, 2), (5, 5, 5)]
+TORUS_SIDES = [(1,), (3,), (4, 4), (1, 5), (3, 1, 4), (3, 4, 5), (5, 5, 5)]
+HYPERCUBE_DIMS = [1, 2, 3, 5, 7]
+BTREE_HEIGHTS = [0, 1, 2, 3, 6]
+
+
+def all_valid_slots(csr: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """Every valid (vertex, slot) pair of ``csr``, in CSR storage order."""
+    deg = csr.degrees
+    pos = np.repeat(np.arange(csr.n, dtype=np.int64), deg)
+    off = np.arange(int(deg.sum()), dtype=np.int64) - np.repeat(csr.indptr[:-1], deg)
+    return pos, off
+
+
+def assert_family_equivalent(imp: ImplicitGraph, csr: Graph) -> None:
+    """The full lemma: protocol parity + slot-for-slot kernel equality."""
+    # protocol parity
+    assert isinstance(imp, ImplicitGraph)
+    assert imp.n == csr.n
+    assert imp.num_vertices == csr.num_vertices
+    assert imp.name == csr.name  # stable_seed(name, ...) must agree too
+    assert imp.num_edges == csr.num_edges
+    assert np.array_equal(np.asarray(imp.degrees), csr.degrees)
+    assert imp.degrees.dtype == np.int64
+    assert imp.is_regular() == csr.is_regular()
+    assert imp.max_degree == csr.max_degree
+    assert imp.min_degree == csr.min_degree
+    if csr.n:
+        assert imp.is_almost_regular() == csr.is_almost_regular()
+        assert imp.degree(csr.n - 1) == csr.degree(csr.n - 1)
+    # slot-for-slot kernel equality over every valid (v, k)
+    pos, off = all_valid_slots(csr)
+    assert np.array_equal(imp.neighbor_slots(pos, off), csr.indices)
+    # scalar access paths used by the serial drivers and tail finishers
+    lazy = imp.adjacency_lists()
+    assert len(lazy) == csr.n
+    ref = csr.adjacency_lists()
+    assert [lazy[v] for v in range(csr.n)] == ref
+    for v in (0, csr.n // 2, csr.n - 1):
+        assert imp.neighbors(v).tolist() == csr.neighbors(v).tolist()
+        for u in set(csr.neighbors(v).tolist()) | {v}:
+            assert imp.has_edge(v, u) == csr.has_edge(v, u)
+    assert sorted(imp.edges()) == sorted(csr.edges())
+
+
+@pytest.mark.parametrize(
+    "builder,size",
+    [(b, s) for _, b, sizes in FAMILIES for s in sizes],
+    ids=[f"{fam}-{s}" for fam, _, sizes in FAMILIES for s in sizes],
+)
+def test_basic_families_slot_equal(builder, size):
+    assert_family_equivalent(builder(size, implicit=True), builder(size))
+
+
+@pytest.mark.parametrize("sides", GRID_SIDES, ids=lambda s: "x".join(map(str, s)))
+def test_grid_slot_equal(sides):
+    assert_family_equivalent(grid_graph(*sides, implicit=True), grid_graph(*sides))
+
+
+@pytest.mark.parametrize("sides", TORUS_SIDES, ids=lambda s: "x".join(map(str, s)))
+def test_torus_slot_equal(sides):
+    assert_family_equivalent(torus_graph(*sides, implicit=True), torus_graph(*sides))
+
+
+@pytest.mark.parametrize("dim", HYPERCUBE_DIMS)
+def test_hypercube_slot_equal(dim):
+    assert_family_equivalent(
+        hypercube_graph(dim, implicit=True), hypercube_graph(dim)
+    )
+
+
+@pytest.mark.parametrize("height", BTREE_HEIGHTS)
+def test_btree_slot_equal(height):
+    assert_family_equivalent(
+        complete_binary_tree(height, implicit=True),
+        complete_binary_tree(height),
+    )
+
+
+def test_materialize_is_the_csr_twin():
+    for imp, csr in [
+        (cycle_graph(9, implicit=True), cycle_graph(9)),
+        (grid_graph(3, 4, implicit=True), grid_graph(3, 4)),
+        (complete_binary_tree(2, implicit=True), complete_binary_tree(2)),
+    ]:
+        assert imp.materialize() == csr
+
+
+def test_kernel_out_buffer_and_aliasing():
+    imp = cycle_graph(12, implicit=True)
+    pos = np.array([0, 5, 11], dtype=np.int64)
+    off = np.array([0, 1, 0], dtype=np.int64)
+    expected = np.array([1, 4, 0], dtype=np.int64)
+    out = np.empty(3, dtype=np.int64)
+    assert imp.neighbor_slots(pos, off, out) is out
+    assert np.array_equal(out, expected)
+    # out may alias positions (the drivers step in place)
+    assert np.array_equal(imp.neighbor_slots(pos, off, pos), expected)
+
+
+def test_csr_kernel_matches_direct_gather_on_irregular_graph():
+    g = path_graph(9)  # irregular: endpoints degree 1
+    pos, off = all_valid_slots(g)
+    assert np.array_equal(g.neighbor_slots(pos, off), g.indices)
+    out = np.empty(pos.size, dtype=np.int64)
+    assert g.neighbor_slots(pos, off, out) is out
+    assert np.array_equal(out, g.indices)
+
+
+def test_regular_degrees_are_broadcast_views():
+    g = cycle_graph(10**6, implicit=True)
+    assert g.degrees.strides == (0,)  # no O(n) array behind it
+    assert not g.degrees.flags.writeable
+    assert g.is_regular() and g.min_degree == g.max_degree == 2
+    assert g.num_edges == 10**6
+
+
+# ----------------------------------------------------------------------
+# registry, rejections and descriptors
+# ----------------------------------------------------------------------
+def test_implicit_graph_registry_builds_all_families():
+    assert implicit_graph("cycle", n=6).name == "cycle-6"
+    assert implicit_graph("path", n=4).name == "path-4"
+    assert implicit_graph("complete", n=5).name == "complete-5"
+    assert implicit_graph("grid", sides=(2, 3)).name == "grid-2x3"
+    assert implicit_graph("torus", sides=(3, 4)).name == "torus-3x4"
+    assert implicit_graph("hypercube", dim=4).name == "hypercube-4"
+    assert implicit_graph("hypercube", n=16).name == "hypercube-4"
+    assert implicit_graph("btree", height=2).name == "btree-h2"
+    assert implicit_graph("btree", n=7).name == "btree-h2"
+
+
+def test_registry_rejections():
+    with pytest.raises(ValueError, match="unknown implicit family"):
+        implicit_graph("moebius", n=8)
+    # non-power-of-two hypercube sizes
+    for n in (0, 1, 3, 12, 100):
+        with pytest.raises(ValueError, match="power of two"):
+            implicit_graph("hypercube", n=n)
+    with pytest.raises(ValueError, match="exactly one"):
+        implicit_graph("hypercube", dim=3, n=8)
+    with pytest.raises(ValueError, match="exactly one"):
+        implicit_graph("hypercube")
+    # unbalanced complete-binary-tree sizes (must be 2^(h+1) - 1)
+    for n in (0, 2, 4, 6, 8, 100):
+        with pytest.raises(ValueError, match="unbalanced"):
+            implicit_graph("btree", n=n)
+    with pytest.raises(ValueError, match="exactly one"):
+        implicit_graph("btree", height=1, n=3)
+
+
+def test_constructor_validation_matches_csr_generators():
+    for n in (0, 1, 2):
+        with pytest.raises(ValueError):
+            cycle_graph(n, implicit=True)
+        with pytest.raises(ValueError):
+            cycle_graph(n)
+    for bad in (0, -1):
+        with pytest.raises(ValueError):
+            path_graph(bad, implicit=True)
+        with pytest.raises(ValueError):
+            complete_graph(bad, implicit=True)
+        with pytest.raises(ValueError):
+            hypercube_graph(bad, implicit=True)
+    with pytest.raises(ValueError):
+        complete_binary_tree(-1, implicit=True)
+    # side-2 torus duplicates the wrap edge — same rejection as CSR
+    with pytest.raises(ValueError, match="side 2"):
+        torus_graph(4, 2, implicit=True)
+    with pytest.raises(ValueError, match="side 2"):
+        torus_graph(4, 2)
+    with pytest.raises(ValueError):
+        grid_graph(0, 3, implicit=True)
+    with pytest.raises(ValueError):
+        grid_graph(implicit=True)
+
+
+def test_descriptor_round_trip_and_pickle():
+    for g in (
+        cycle_graph(17, implicit=True),
+        path_graph(2, implicit=True),
+        torus_graph(3, 1, 4, implicit=True),
+        hypercube_graph(5, implicit=True),
+        complete_binary_tree(3, implicit=True),
+        grid_graph(4, 4, implicit=True),
+    ):
+        spec = g.descriptor()
+        spec = pickle.loads(pickle.dumps(spec))  # crosses process boundary
+        rebuilt = from_descriptor(spec)
+        assert type(rebuilt) is type(g)
+        assert rebuilt.name == g.name and rebuilt.n == g.n
+        pos, off = all_valid_slots(g.materialize())
+        assert np.array_equal(
+            rebuilt.neighbor_slots(pos, off), g.neighbor_slots(pos, off)
+        )
+
+
+def test_descriptor_mismatch_and_bad_counts_rejected():
+    good = cycle_graph(9, implicit=True).descriptor()
+    with pytest.raises(ValueError, match="n must be >= 0"):
+        from_descriptor(
+            ImplicitGraphSpec(good.family, good.params, -1, good.name)
+        )
+    with pytest.raises(ValueError, match="descriptor mismatch"):
+        from_descriptor(
+            ImplicitGraphSpec(good.family, good.params, good.n, "cycle-10")
+        )
+
+
+# ----------------------------------------------------------------------
+# the seam: WalkEngine and the kernel-less error
+# ----------------------------------------------------------------------
+def test_walk_engine_bit_identical_across_builds():
+    starts = np.zeros(7, dtype=np.int64)
+    for imp, csr in [
+        (cycle_graph(16, implicit=True), cycle_graph(16)),
+        (complete_binary_tree(3, implicit=True), complete_binary_tree(3)),
+    ]:
+        a = WalkEngine(imp, seed=42).trajectories(starts, 64)
+        b = WalkEngine(csr, seed=42).trajectories(starts, 64)
+        assert np.array_equal(a, b)
+
+
+def test_kernel_less_graph_raises_clearly():
+    fake = SimpleNamespace(n=5, degrees=np.full(5, 2), name="fake-5")
+    with pytest.raises(TypeError, match="neighbor_slots"):
+        neighbor_kernel(fake)
+    with pytest.raises(TypeError, match="neighbor_slots"):
+        WalkEngine(fake, seed=0)
+    # non-callable attribute is just as kernel-less
+    fake.neighbor_slots = 3
+    with pytest.raises(TypeError, match="neighbor_slots"):
+        neighbor_kernel(fake)
+
+
+# ----------------------------------------------------------------------
+# memory-budget regression: nothing materialises O(n + m)
+# ----------------------------------------------------------------------
+def test_million_vertex_estimate_stays_under_csr_floor():
+    """An implicit cycle at n = 10^6 must run a (partial-dispersion)
+    estimate in a fraction of the memory the CSR arrays *alone* would
+    take — pinning that no code path silently materialises adjacency."""
+    n = 10**6
+    # int64 indptr (n + 1) + indices (2m = 2n): 24 MB before any driver state
+    csr_floor = 8 * (n + 1) + 8 * (2 * n)
+    tracemalloc.start()
+    try:
+        g = cycle_graph(n, implicit=True)
+        est = estimate_dispersion(
+            g,
+            "sequential",
+            reps=2,
+            seed=123,
+            num_particles=4,
+            batched=True,
+            tail_threshold=0,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert est.samples.shape == (2,)
+    assert np.all(est.samples >= 1)
+    # comfortably under half the CSR floor (driver state is O(reps * n / 8)
+    # occupancy bits + O(1) stream buffers)
+    assert peak < csr_floor / 2, f"peak {peak} vs CSR floor {csr_floor}"
