@@ -52,6 +52,38 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--reps", type=int, default=8)
     t1.add_argument("--seed", type=int, default=0)
 
+    def add_precision_flags(sp):
+        # adaptive replication: either flag switches the estimate from a
+        # fixed --reps count to rounds that stop when the anytime CI is
+        # narrow enough (--reps then sizes the first round)
+        sp.add_argument(
+            "--ci-rel",
+            type=float,
+            default=None,
+            metavar="FRAC",
+            help="adaptive: stop when the anytime CI half-width falls below "
+            "FRAC x mean (0.02 = within 2%%); --reps sizes the first round",
+        )
+        sp.add_argument(
+            "--ci-abs",
+            type=float,
+            default=None,
+            metavar="W",
+            help="adaptive: absolute half-width target in steps",
+        )
+        sp.add_argument(
+            "--level",
+            type=float,
+            default=0.95,
+            help="confidence level of the anytime sequence (default 0.95)",
+        )
+        sp.add_argument(
+            "--max-reps",
+            type=int,
+            default=4096,
+            help="adaptive repetition budget (default 4096)",
+        )
+
     run = sub.add_parser("run", help="run one dispersion estimate")
     run.add_argument("family")
     run.add_argument("n", type=int)
@@ -59,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--reps", type=int, default=8)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--lazy", action="store_true")
+    add_precision_flags(run)
     run.add_argument(
         "--jobs",
         type=int,
@@ -80,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("sizes", type=int, nargs="+")
     sw.add_argument("--reps", type=int, default=8)
     sw.add_argument("--seed", type=int, default=0)
+    add_precision_flags(sw)
 
     bd = sub.add_parser("bounds", help="theorem bounds vs a measured mean")
     bd.add_argument("family")
@@ -135,6 +169,21 @@ def _cmd_constants(out) -> int:
     return 0
 
 
+def _precision_from_args(args):
+    """Build the Precision target from --ci-rel/--ci-abs (None if neither)."""
+    if args.ci_rel is None and args.ci_abs is None:
+        return None
+    from repro.core.anytime import Precision
+
+    return Precision(
+        ci_rel=args.ci_rel,
+        ci_abs=args.ci_abs,
+        level=args.level,
+        initial=args.reps,
+        max_reps=max(args.max_reps, args.reps),
+    )
+
+
 def _cmd_run(args, out) -> int:
     from repro.experiments import estimate_dispersion
     from repro.experiments.runner import LAZY_PROCESSES
@@ -149,6 +198,11 @@ def _cmd_run(args, out) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    try:
+        precision = _precision_from_args(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     kwargs = {"lazy": True} if args.lazy else {}
     fam = get_family(args.family)
     g = fam.build(args.n, seed=args.seed)
@@ -156,7 +210,8 @@ def _cmd_run(args, out) -> int:
         g,
         args.process,
         origin=fam.worst_origin(g),
-        reps=args.reps,
+        reps=None if precision is not None else args.reps,
+        precision=precision,
         seed=args.seed,
         n_jobs=args.jobs,
         batched={"auto": "auto", "true": True, "false": False}[args.batched],
@@ -171,7 +226,18 @@ def _cmd_sweep(args, out) -> int:
     from repro.experiments import render_table, sweep_dispersion
     from repro.theory import TABLE1
 
-    res = sweep_dispersion(args.family, args.sizes, reps=args.reps, seed=args.seed)
+    try:
+        precision = _precision_from_args(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    res = sweep_dispersion(
+        args.family,
+        args.sizes,
+        reps=args.reps,
+        precision=precision,
+        seed=args.seed,
+    )
     rows = [
         [r["n"], r["process"], round(r["mean"], 1), round(r["sem"], 1)]
         for r in res.rows()

@@ -35,6 +35,12 @@ from repro.core.algorithms import (
     parallel_to_uniform,
     sequential_to_parallel,
 )
+from repro.core.anytime import (
+    AdaptiveInfo,
+    Precision,
+    TauAccumulator,
+    anytime_halfwidth,
+)
 from repro.core.batched import batched_parallel_idla, batched_sequential_idla
 from repro.core.batched_continuous import (
     batched_continuous_sequential_idla,
@@ -79,6 +85,10 @@ __all__ = [
     "standard_rule",
     "HairRule",
     "DelayedRule",
+    "Precision",
+    "TauAccumulator",
+    "AdaptiveInfo",
+    "anytime_halfwidth",
     "sample_schedule",
     "aggregate_after",
     "euclidean_shape_stats",

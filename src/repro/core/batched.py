@@ -25,14 +25,18 @@ and the ``_BATCHED_MAX_BUFFER_DOUBLES`` auto-dispatch decline it forced
 are gone.  Chunk-invariance of NumPy double streams makes the chunk size
 invisible in the results.
 
-The same property permits a mid-stream handoff: once the **total live
-particle count across repetitions** drops below a small threshold, the
-lock-step round (a fixed number of NumPy calls, ~µs each) costs more than
-scalar work on the stragglers, so each surviving repetition is handed to
-a plain-Python micro-loop (the serial drivers' own narrow-phase shape)
-that continues its uniform stream via :meth:`UniformStreams.tail` — the
-*scalar tail finisher*, trimming the deep ``Θ(n² log n)`` settlement
-tails the paper proves for the cycle.
+The same property permits a mid-stream handoff: once only a few
+**repetitions survive** (for the parallel driver, each additionally down
+to its serial driver's scalar narrow phase — ``scalar_threshold`` live
+particles), the lock-step round (a fixed number of NumPy calls, ~µs
+each) costs more than scalar work on the stragglers, so each surviving
+repetition is handed to a plain-Python micro-loop (the serial drivers'
+own narrow-phase shape) that continues its uniform stream via
+:meth:`UniformStreams.tail` — the *scalar tail finisher*, engaged
+throughout the deep ``Θ(n² log n)`` settlement tails the paper proves
+for the cycle (counting live *particles*, the old criterion, kept the
+round machinery running until the stragglers' combined width shrank
+too).
 
 Bit-identical replay
 --------------------
@@ -70,9 +74,10 @@ discrete walks, so the fetch grid matters there, not just the values.
 round, finalised into the serial drivers' exact ``list[list[int]]``
 trajectories, with straggler repetitions handed to the finisher via
 :meth:`TrajectoryStore.handoff` so the scalar micro-loops keep appending
-to the recorded prefix.  Unknown keyword arguments remain the runner's
-cue to fall back to the serial reference path, which stays the oracle
-the batched subsystem is tested against.
+to the recorded prefix.  The runner validates driver kwargs up front
+(unknown keys raise ``TypeError`` there) and routes impure settling
+rules to the serial reference path, which stays the oracle the batched
+subsystem is tested against.
 """
 
 from __future__ import annotations
@@ -113,10 +118,13 @@ __all__ = [
 #: driver relies on is only provable on that grid).
 _BLOCK: int | None = None
 
-#: Scalar-tail-finisher default: once the total live-particle count
-#: across repetitions drops to this, each straggler repetition is handed
-#: to the serial scalar micro-loop.  Mirrors the serial parallel driver's
-#: ``scalar_threshold`` break-even (~16 walkers vs ~12 vector calls).
+#: Scalar-tail-finisher default: once this few repetitions survive (and,
+#: for the parallel driver, each is already in the serial driver's scalar
+#: narrow phase), every straggler repetition is handed to the serial
+#: scalar micro-loop.  Counting *repetitions* rather than particles is
+#: what engages the finisher throughout the deep settlement tail — a
+#: handful of stragglers used to keep the whole lock-step round machinery
+#: running until their combined particle count shrank too.
 _TAIL_THRESHOLD = 16
 
 
@@ -387,10 +395,12 @@ def batched_parallel_idla(
         append per round; memory is ``O(total steps)`` as in the serial
         driver, and entry ``r``'s trajectories are list-identical to it.
     tail_threshold:
-        Total live-particle count (across repetitions) at which the
-        scalar tail finisher takes over the stragglers; ``0`` disables
-        the handoff, ``None`` uses the module default.  A performance
-        knob only — results are bit-identical either way.
+        Surviving-repetition count at which the scalar tail finisher
+        takes over the stragglers (once each survivor is also down to
+        ``scalar_threshold`` live particles — i.e. inside the serial
+        driver's own scalar narrow phase); ``0`` disables the handoff,
+        ``None`` uses the module default.  A performance knob only —
+        results are bit-identical either way.
 
     Returns
     -------
@@ -543,6 +553,24 @@ def batched_parallel_idla(
             bptr[r] = 0
         rounds_buffered = buffered_rounds()
 
+    def tail_ready() -> bool:
+        """Handoff criterion, recomputed only when ``k`` changes.
+
+        Hand off when few *repetitions* survive — the lock-step round
+        cost is dominated by per-repetition metadata, not particles —
+        and every survivor is already inside the serial driver's scalar
+        narrow phase (``<= scalar_threshold`` live particles), so the
+        micro-loop is the regime the serial driver itself would use.
+        Counting live particles instead (the old criterion) kept the
+        round machinery running through the whole deep settlement tail.
+        """
+        if tail_total <= 0 or rep_ids.size == 0:
+            return False
+        return (
+            int(np.count_nonzero(k)) <= tail_total
+            and int(k.max()) <= scalar_threshold
+        )
+
     rebuild()
     kernel = neighbor_kernel(g)
     degrees_g = g.degrees
@@ -559,9 +587,10 @@ def batched_parallel_idla(
         degm1 = degrees_g - 1
         degf = degrees_g.astype(np.float64)
     t = 0
+    handoff = tail_ready()
 
     while rep_ids.size:
-        if 0 < rep_ids.size <= tail_total:
+        if handoff:
             # ---- scalar tail finisher: the lock-step round costs more
             # than scalar work on the few stragglers left; hand each
             # surviving repetition its stream mid-flight and finish it
@@ -664,6 +693,7 @@ def batched_parallel_idla(
                 keep[stopped] = False
                 k -= np.bincount(rep_ids[stopped], minlength=R)
         compact(keep, np.unique(w_rep))
+        handoff = tail_ready()
 
     # ---- per-repetition result assembly
     traj_all = store.finalize() if store is not None else None

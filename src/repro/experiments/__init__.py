@@ -6,12 +6,14 @@ from repro.experiments.fitting import (
     fit_constant,
     fit_power_law,
 )
+from repro.core.anytime import AdaptiveInfo, Precision, TauAccumulator
 from repro.experiments.fanout import SharedGraph, fanout_estimate, plan_shards
 from repro.experiments.io import load_json, save_json, to_jsonable
 from repro.experiments.runner import (
     LAZY_PROCESSES,
     PROCESS_DRIVERS,
     DispersionEstimate,
+    driver_kwargs,
     estimate_dispersion,
     run_process,
 )
@@ -36,8 +38,12 @@ __all__ = [
     "fanout_estimate",
     "plan_shards",
     "run_process",
+    "driver_kwargs",
     "estimate_dispersion",
     "DispersionEstimate",
+    "Precision",
+    "TauAccumulator",
+    "AdaptiveInfo",
     "SummaryStats",
     "summarize",
     "bootstrap_ci",

@@ -151,7 +151,9 @@ def attach(spec: SharedGraphSpec) -> tuple[shared_memory.SharedMemory, Graph]:
         raise
 
 
-def plan_shards(reps: int, n_jobs: int) -> list[tuple[int, int]]:
+def plan_shards(
+    reps: int, n_jobs: int, *, max_shard: int | None = None
+) -> list[tuple[int, int]]:
     """Split ``range(reps)`` into contiguous per-worker ``(start, stop)`` slices.
 
     At most ``n_jobs`` shards, every shard non-empty, sizes differing by
@@ -161,18 +163,34 @@ def plan_shards(reps: int, n_jobs: int) -> list[tuple[int, int]]:
     repetition ``r`` sees the same stream as in every other execution
     mode.
 
+    ``max_shard`` caps the repetitions per shard — the cost-weighted
+    sizing hook of the adaptive runner, which learns the per-rep cost
+    from earlier rounds and requests shards of bounded *duration*.  The
+    plan may then contain more shards than ``n_jobs``; the surplus
+    queues on the pool and drains as workers free up, so one straggling
+    shard delays the round by about its own duration, not by a whole
+    ``reps / n_jobs`` slice.  Shard *boundaries* never affect samples
+    (repetition ``r``'s stream only depends on child ``r``), so the cap
+    is purely a scheduling decision.
+
     Examples
     --------
     >>> plan_shards(10, 4)
     [(0, 3), (3, 6), (6, 8), (8, 10)]
     >>> plan_shards(2, 8)
     [(0, 1), (1, 2)]
+    >>> plan_shards(10, 2, max_shard=3)
+    [(0, 3), (3, 6), (6, 8), (8, 10)]
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     k = min(n_jobs, reps)
+    if max_shard is not None:
+        if max_shard < 1:
+            raise ValueError(f"max_shard must be >= 1, got {max_shard}")
+        k = min(max(k, -(-reps // max_shard)), reps)
     base, extra = divmod(reps, k)
     shards = []
     start = 0
@@ -252,19 +270,29 @@ def _mp_context():
 
 
 def fanout_estimate(
-    g: Graph, process: str, *, origin, children, n_jobs: int, batched, kwargs
+    g: Graph,
+    process: str,
+    *,
+    origin,
+    children,
+    n_jobs: int,
+    batched,
+    kwargs,
+    max_shard: int | None = None,
 ) -> list[tuple[float, int, object, object]]:
     """Fan repetition shards out over a shared-memory process pool.
 
     CSR graphs are exported once (not pickled per job); implicit
     families skip the segment and ship their ``(family, params)``
     descriptor instead.  The repetition axis is sharded contiguously
-    over at most ``n_jobs`` workers, and each worker runs
-    :func:`run_shard` — batched where profitable (or forced via
-    ``batched=True``).  Outcomes come back in repetition order and are
-    bit-identical to ``n_jobs=1`` over the same ``children``.
+    over at most ``n_jobs`` workers — or, with ``max_shard`` (the
+    adaptive runner's cost-weighted cap), into more, smaller shards
+    that queue on the pool — and each worker runs :func:`run_shard`,
+    batched where profitable (or forced via ``batched=True``).
+    Outcomes come back in repetition order and are bit-identical to
+    ``n_jobs=1`` over the same ``children``.
     """
-    shards = plan_shards(len(children), n_jobs)
+    shards = plan_shards(len(children), n_jobs, max_shard=max_shard)
     if isinstance(g, ImplicitGraph):
         exporter, spec = nullcontext(), g.descriptor()
     else:
@@ -272,7 +300,7 @@ def fanout_estimate(
         exporter, spec = sg, sg.spec
     with exporter:
         with ProcessPoolExecutor(
-            max_workers=len(shards), mp_context=_mp_context()
+            max_workers=min(n_jobs, len(shards)), mp_context=_mp_context()
         ) as pool:
             futures = [
                 pool.submit(

@@ -28,11 +28,15 @@ dispatch is purely a performance decision (see ``_use_batched``).
 
 from __future__ import annotations
 
+import inspect
+import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
 
+from repro.core.anytime import AdaptiveInfo, Precision, TauAccumulator
 from repro.core.batched import batched_parallel_idla, batched_sequential_idla
 from repro.core.batched_continuous import (
     batched_continuous_sequential_idla,
@@ -47,12 +51,13 @@ from repro.core.stopping_rules import DelayedRule, HairRule, StoppingRule
 from repro.core.uniform import uniform_idla
 from repro.experiments.stats import SummaryStats, summarize
 from repro.graphs.csr import Graph
-from repro.utils.rng import spawn_seed_sequences, stable_seed
+from repro.utils.rng import as_seed_sequence, stable_seed
 
 __all__ = [
     "PROCESS_DRIVERS",
     "BATCHED_DRIVERS",
     "LAZY_PROCESSES",
+    "driver_kwargs",
     "run_process",
     "DispersionEstimate",
     "estimate_dispersion",
@@ -130,6 +135,57 @@ def serial_kwargs(process: str, kwargs: dict) -> dict:
     if not drop:
         return kwargs
     return {k: v for k, v in kwargs.items() if k not in drop}
+
+
+_DRIVER_KWARGS_CACHE: dict[str, frozenset[str]] = {}
+
+
+def driver_kwargs(process: str) -> frozenset[str]:
+    """Every keyword ``estimate_dispersion`` accepts for one process.
+
+    Derived from the registry, not hand-maintained: the keyword-only
+    parameters of ``PROCESS_DRIVERS[process]``'s signature (minus
+    ``seed``, which the runner owns) plus the process's batched-only
+    performance knobs from ``_BATCHED_KWARGS``.  Registering a new
+    driver or adding a driver parameter updates the accepted surface
+    automatically.
+    """
+    cached = _DRIVER_KWARGS_CACHE.get(process)
+    if cached is not None:
+        return cached
+    try:
+        driver = PROCESS_DRIVERS[process]
+    except KeyError:
+        raise KeyError(
+            f"unknown process {process!r}; available: {sorted(PROCESS_DRIVERS)}"
+        ) from None
+    params = inspect.signature(driver).parameters
+    accepted = {
+        name
+        for name, p in params.items()
+        if p.kind is inspect.Parameter.KEYWORD_ONLY and name != "seed"
+    }
+    accepted |= _BATCHED_KWARGS.get(process, set())
+    result = frozenset(accepted)
+    _DRIVER_KWARGS_CACHE[process] = result
+    return result
+
+
+def _validate_driver_kwargs(process: str, kwargs: dict) -> None:
+    """Reject unknown driver kwargs up front, naming the accepted options.
+
+    Unknown keys used to flow through ``**kwargs`` all the way into the
+    driver (or silently force the serial fallback first); now they fail
+    fast — before graph export, pool spawn or any repetition runs — with
+    the process's actual option surface in the message.
+    """
+    unknown = sorted(set(kwargs) - driver_kwargs(process))
+    if unknown:
+        raise TypeError(
+            f"unknown driver kwarg(s) {', '.join(map(repr, unknown))} for "
+            f"process {process!r}; accepted options: "
+            f"{', '.join(sorted(driver_kwargs(process)))}"
+        )
 
 #: Below these repetition counts the serial drivers' tuned scalar loops
 #: win; at or above them lock-step batching amortises enough dispatch
@@ -220,6 +276,10 @@ class DispersionEstimate:
     schedule array per repetition.  Both are per-repetition lists in
     ``SeedSequence``-child order, identical across serial / batched /
     fan-out execution.
+
+    ``adaptive`` (``precision=``-driven estimates only) records the
+    rounds consumed, the achieved anytime half-width and what stopped
+    the run — see :class:`repro.core.anytime.AdaptiveInfo`.
     """
 
     process: str
@@ -232,12 +292,16 @@ class DispersionEstimate:
     total_samples: np.ndarray
     trajectories: list[list[list[int]]] | None = None
     schedules: list[np.ndarray] | None = None
+    adaptive: AdaptiveInfo | None = None
 
     def format(self) -> str:
-        return (
+        line = (
             f"{self.process:>12} on {self.graph_name:<16} "
             f"E[τ] = {self.dispersion.format()}"
         )
+        if self.adaptive is not None:
+            line += f"\n{'':>12}    adaptive: {self.adaptive.format()}"
+        return line
 
 
 def outcome_of(res: DispersionResult) -> tuple[float, int, object, object]:
@@ -262,21 +326,183 @@ def _one_run(args) -> tuple[float, int, object, object]:
     return outcome_of(res)
 
 
+def _round_outcomes(
+    g: Graph,
+    process: str,
+    origin: int,
+    children,
+    n_jobs: int,
+    batched,
+    kwargs: dict,
+    max_shard: int | None = None,
+) -> list[tuple[float, int, object, object]]:
+    """Run one contiguous block of repetitions through the best dispatch.
+
+    The single dispatch point both the fixed-``reps`` path and every
+    adaptive round go through: fan-out when more than one worker is
+    useful, else lock-step batching where profitable, else the serial
+    oracle.  ``children`` are consecutive children of one parent
+    ``SeedSequence``; since repetition ``r``'s stream depends only on
+    child ``r`` (never on how the block is grouped), the outcomes are
+    bit-identical whichever branch runs.  ``max_shard`` is the adaptive
+    loop's cost-weighted shard ceiling (see ``estimate_dispersion``).
+    """
+    reps = len(children)
+    jobs = min(n_jobs, reps)
+    if jobs > 1:
+        from repro.experiments.fanout import fanout_estimate
+
+        return fanout_estimate(
+            g,
+            process,
+            origin=origin,
+            children=children,
+            n_jobs=jobs,
+            batched=batched,
+            kwargs=kwargs,
+            max_shard=max_shard,
+        )
+    if _use_batched(process, g, reps, jobs, kwargs, batched):
+        batch = BATCHED_DRIVERS[process](g, origin, seeds=list(children), **kwargs)
+        return [outcome_of(r) for r in batch]
+    skwargs = serial_kwargs(process, kwargs)
+    return [_one_run((process, g, origin, s, skwargs)) for s in children]
+
+
+#: Wall-clock seconds one fan-out shard should cost in later adaptive
+#: rounds.  Once a round has measured the per-repetition cost, shards are
+#: capped near this duration so a straggling worker can delay the round
+#: by about one shard, not by a whole ``reps / n_jobs`` slice; the
+#: surplus shards queue on the pool and drain as workers free up.
+_TARGET_SHARD_SECONDS = 0.5
+
+
+def _adaptive_outcomes(
+    g: Graph,
+    process: str,
+    origin: int,
+    parent,
+    precision: Precision,
+    n_jobs: int,
+    batched,
+    kwargs: dict,
+) -> tuple[list[tuple[float, int, object, object]], AdaptiveInfo]:
+    """Run repetition rounds until the anytime CI meets ``precision``.
+
+    Every round spawns the *next* children of ``parent``
+    (``SeedSequence.spawn`` advances the parent's counter, so round
+    boundaries are invisible in the streams: the concatenated outcomes
+    are bit-identical to one fixed run of the same total repetition
+    count).  After each round the anytime confidence-sequence width is
+    checked — valid under exactly this kind of optional stopping — and
+    the next round is sized from the width still missing, capped by
+    ``precision.growth`` and ``precision.max_reps``.
+    """
+    acc = TauAccumulator()
+    outcomes: list[tuple[float, int, object, object]] = []
+    rounds: list[int] = []
+    t0 = perf_counter()
+    halfwidth = math.inf
+    target_hw = math.inf
+    stopped_by = "max_reps"
+    while True:
+        consumed = len(outcomes)
+        if consumed == 0:
+            round_reps = precision.initial
+            max_shard = None
+        else:
+            ratio = halfwidth / target_hw if target_hw > 0.0 else math.inf
+            if math.isfinite(ratio):
+                # hw shrinks ~ 1/sqrt(t): predict the total t that lands
+                # on the target, then cap the round by the growth factor
+                predicted_f = consumed * ratio * ratio
+                predicted = (
+                    math.ceil(predicted_f)
+                    if math.isfinite(predicted_f)
+                    else precision.max_reps
+                )
+            else:
+                predicted = precision.max_reps
+            ceiling = math.ceil(consumed * precision.growth)
+            total_next = max(consumed + 1, min(predicted, ceiling))
+            total_next = min(total_next, precision.max_reps)
+            round_reps = total_next - consumed
+            # cost-weighted shard sizing from the observed per-rep cost
+            per_rep_s = (perf_counter() - t0) / consumed
+            if n_jobs > 1 and per_rep_s > 0.0:
+                max_shard = max(1, int(_TARGET_SHARD_SECONDS / per_rep_s))
+            else:
+                max_shard = None
+        children = parent.spawn(round_reps)
+        outcomes.extend(
+            _round_outcomes(
+                g, process, origin, children, n_jobs, batched, kwargs, max_shard
+            )
+        )
+        acc.add([o[0] for o in outcomes[-round_reps:]])
+        rounds.append(round_reps)
+        halfwidth = acc.halfwidth(precision.level)
+        target_hw = precision.target_halfwidth(acc.mean)
+        if halfwidth <= target_hw:
+            stopped_by = "target"
+            break
+        if len(outcomes) >= precision.max_reps:
+            stopped_by = "max_reps"
+            break
+        if (
+            precision.max_seconds is not None
+            and perf_counter() - t0 >= precision.max_seconds
+        ):
+            stopped_by = "max_seconds"
+            break
+    info = AdaptiveInfo(
+        target=precision,
+        reps=len(outcomes),
+        rounds=tuple(rounds),
+        mean=acc.mean,
+        halfwidth=halfwidth,
+        target_halfwidth=target_hw,
+        met=halfwidth <= target_hw,
+        stopped_by=stopped_by,
+        elapsed_s=perf_counter() - t0,
+    )
+    return outcomes, info
+
+
 def estimate_dispersion(
     g: Graph,
     process: str = "sequential",
     *,
     origin: int = 0,
-    reps: int = 16,
+    reps: int | None = None,
+    precision: Precision | None = None,
     seed=None,
     n_jobs: int = 1,
     batched="auto",
     **kwargs,
 ) -> DispersionEstimate:
-    """Estimate ``E[τ]`` over ``reps`` independent realisations.
+    """Estimate ``E[τ]`` over independent realisations.
+
+    Either pass a fixed repetition count (``reps=``, default 16) or a
+    typed precision target (``precision=Precision(ci_rel=0.02)``): the
+    adaptive mode runs *rounds* of repetitions — an initial batch, then
+    top-ups sized from the width still missing — until the anytime
+    confidence sequence around the running mean is narrower than the
+    target or a budget (``max_reps``, ``max_seconds``) trips.  Because
+    every round consumes the next children of the same parent
+    ``SeedSequence``, an adaptive run that consumed ``N`` repetitions is
+    bit-identical to ``reps=N`` — in every dispatch mode.  The rounds
+    consumed and the achieved width come back on ``estimate.adaptive``.
 
     Parameters
     ----------
+    reps:
+        Fixed repetition count; mutually exclusive with ``precision``.
+        ``None`` with no ``precision`` means 16.
+    precision:
+        A :class:`repro.core.anytime.Precision` stopping target; the
+        confidence sequence is valid under optional stopping, so peeking
+        after every round does not inflate the miscoverage.
     n_jobs:
         ``1`` (default) runs in-process; ``> 1`` exports the graph once
         into shared memory and fans contiguous repetition *shards* out
@@ -284,10 +510,13 @@ def estimate_dispersion(
         its shard where profitable (:mod:`repro.experiments.fanout`);
         implicit families ship a ``(family, params)`` descriptor instead
         of a shared-memory segment.
-        Worker counts above ``reps`` are clamped to ``reps`` (surplus
-        workers could only receive empty shards; ``reps=1`` therefore
-        always runs in-process).  Seeds are spawned identically in all
-        modes, so the samples are bit-identical to ``n_jobs=1``.
+        Worker counts above the round's repetition count are clamped
+        (surplus workers could only receive empty shards; ``reps=1``
+        therefore always runs in-process).  Seeds are spawned
+        identically in all modes, so the samples are bit-identical to
+        ``n_jobs=1``.  In adaptive rounds after the first, shards are
+        additionally capped near ``0.5 s`` of observed per-rep cost, so
+        stragglers shrink and drain over the pool.
     batched:
         ``"auto"`` (default) routes estimates through the lock-step
         drivers of :mod:`repro.core.batched` /
@@ -302,11 +531,14 @@ def estimate_dispersion(
         fall back to serial.  ``batched=True`` skips that purity guard
         and trusts the caller's rule to be stateless.
     kwargs:
-        Forwarded to the driver (``lazy=True``, ``rule=…``,
-        ``record=True``, …).  ``record=True`` surfaces per-repetition
-        trajectories on the estimate (``faithful_r=True`` likewise the
-        realised Uniform-IDLA schedules); both batch and fan out like
-        every other mode — dispatch stays purely a performance decision.
+        Driver options (``lazy=True``, ``rule=…``, ``record=True``, …),
+        validated up front against the process's accepted surface
+        (:func:`driver_kwargs`) — unknown keys raise ``TypeError``
+        naming the options instead of reaching the driver.
+        ``record=True`` surfaces per-repetition trajectories on the
+        estimate (``faithful_r=True`` likewise the realised
+        Uniform-IDLA schedules); both batch and fan out like every
+        other mode — dispatch stays purely a performance decision.
 
     Examples
     --------
@@ -320,40 +552,35 @@ def estimate_dispersion(
     >>> bool(np.all(fast.samples == est.samples))
     True
     """
-    if reps < 1:
-        raise ValueError(f"reps must be >= 1, got {reps}")
+    if process not in PROCESS_DRIVERS:
+        raise KeyError(
+            f"unknown process {process!r}; available: {sorted(PROCESS_DRIVERS)}"
+        )
+    _validate_driver_kwargs(process, kwargs)
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
-    # surplus workers would only plan empty shards / idle processes;
-    # in particular reps=1 never pays for a process pool at all
-    n_jobs = min(n_jobs, reps)
-    children = spawn_seed_sequences(
-        seed if seed is not None else stable_seed(g.name, process, origin), reps
+    if batched not in (True, False, "auto"):
+        raise ValueError(f"batched must be True, False or 'auto', got {batched!r}")
+    if batched is True:
+        _validate_forced_batched(process, kwargs)
+    if precision is not None and reps is not None:
+        raise TypeError("pass either reps= or precision=, not both")
+    parent = as_seed_sequence(
+        seed if seed is not None else stable_seed(g.name, process, origin)
     )
-    if n_jobs > 1:
-        if batched not in (True, False, "auto"):
-            raise ValueError(
-                f"batched must be True, False or 'auto', got {batched!r}"
-            )
-        if batched is True:
-            _validate_forced_batched(process, kwargs)
-        from repro.experiments.fanout import fanout_estimate
-
-        outcomes = fanout_estimate(
-            g,
-            process,
-            origin=origin,
-            children=children,
-            n_jobs=n_jobs,
-            batched=batched,
-            kwargs=kwargs,
+    if precision is not None:
+        outcomes, info = _adaptive_outcomes(
+            g, process, origin, parent, precision, n_jobs, batched, kwargs
         )
-    elif _use_batched(process, g, reps, n_jobs, kwargs, batched):
-        batch = BATCHED_DRIVERS[process](g, origin, seeds=children, **kwargs)
-        outcomes = [outcome_of(r) for r in batch]
     else:
-        skwargs = serial_kwargs(process, kwargs)
-        outcomes = [_one_run((process, g, origin, s, skwargs)) for s in children]
+        reps = 16 if reps is None else reps
+        if reps < 1:
+            raise ValueError(f"reps must be >= 1, got {reps}")
+        children = parent.spawn(reps)
+        outcomes = _round_outcomes(
+            g, process, origin, children, n_jobs, batched, kwargs
+        )
+        info = None
     disp = np.asarray([o[0] for o in outcomes])
     tot = np.asarray([o[1] for o in outcomes], dtype=np.int64)
     return DispersionEstimate(
@@ -367,4 +594,5 @@ def estimate_dispersion(
         total_samples=tot,
         trajectories=[o[2] for o in outcomes] if kwargs.get("record") else None,
         schedules=[o[3] for o in outcomes] if kwargs.get("faithful_r") else None,
+        adaptive=info,
     )

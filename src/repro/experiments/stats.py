@@ -33,11 +33,21 @@ class SummaryStats:
     min: float
     max: float
 
+    @property
+    def halfwidth(self) -> float:
+        """Fixed-``n`` 95% half-width (1.96·SEM) — half of ci95_high−ci95_low.
+
+        Only valid at a pre-committed sample size; estimates stopped by a
+        :class:`repro.core.anytime.Precision` target report the (wider)
+        anytime half-width on ``estimate.adaptive`` instead.
+        """
+        return 1.96 * self.sem
+
     def format(self, unit: str = "") -> str:
         """Compact human-readable rendering."""
         u = f" {unit}" if unit else ""
         return (
-            f"{self.mean:.4g} ± {1.96 * self.sem:.2g}{u} "
+            f"{self.mean:.4g} ± {self.halfwidth:.2g}{u} "
             f"(median {self.median:.4g}, n={self.n})"
         )
 

@@ -93,6 +93,7 @@ def sweep_dispersion(
     *,
     processes=("sequential", "parallel"),
     reps: int = 8,
+    precision=None,
     seed=None,
     origin: str | int = "family",
     **kwargs,
@@ -103,6 +104,13 @@ def sweep_dispersion(
     ----------
     family:
         Family name (see :data:`repro.theory.FAMILIES`) or a ``Family``.
+    precision:
+        Optional :class:`repro.core.anytime.Precision` target; when set,
+        ``reps`` is ignored and every (size, process) point runs
+        adaptively until its own anytime CI meets the target — cheap
+        points in the sweep stop early, expensive ones keep sampling,
+        so the scaling fits get evenly-precise means instead of
+        evenly-funded ones.
     origin:
         ``"family"`` uses the family's worst-case origin; an integer pins
         a specific vertex.
@@ -144,7 +152,8 @@ def sweep_dispersion(
                 g,
                 proc,
                 origin=org,
-                reps=reps,
+                reps=None if precision is not None else reps,
+                precision=precision,
                 seed=stable_seed(base, fam.name, g.n, proc),
                 **kwargs,
             )

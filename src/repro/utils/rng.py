@@ -19,6 +19,7 @@ SeedLike = "None | int | np.random.SeedSequence | np.random.Generator"
 
 __all__ = [
     "as_generator",
+    "as_seed_sequence",
     "spawn_seed_sequences",
     "spawn_generators",
     "stable_seed",
@@ -56,6 +57,27 @@ def as_generator(seed=None) -> np.random.Generator:
     )
 
 
+def as_seed_sequence(seed) -> np.random.SeedSequence:
+    """Parent ``SeedSequence`` for any accepted seed object.
+
+    ``SeedSequence.spawn`` advances the parent's child counter, so
+    spawning ``a`` children and then ``b`` more from the *same* parent
+    object yields exactly the children ``spawn(a + b)`` would have — the
+    property the adaptive runner's incremental rep top-up relies on.
+    Callers that spawn in rounds must therefore resolve the parent once
+    (through here) and keep spawning from that object.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Generators created from a SeedSequence carry it on the bit generator.
+        ss = seed.bit_generator.seed_seq
+        if ss is None:  # pragma: no cover - legacy bit generators only
+            ss = np.random.SeedSequence()
+        return ss
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
 def spawn_seed_sequences(seed, n: int) -> list[np.random.SeedSequence]:
     """Spawn ``n`` independent child ``SeedSequence`` objects.
 
@@ -76,16 +98,7 @@ def spawn_seed_sequences(seed, n: int) -> list[np.random.SeedSequence]:
     """
     if n < 0:
         raise ValueError(f"n must be >= 0, got {n}")
-    if isinstance(seed, np.random.Generator):
-        # Generators created from a SeedSequence carry it on the bit generator.
-        ss = seed.bit_generator.seed_seq
-        if ss is None:  # pragma: no cover - legacy bit generators only
-            ss = np.random.SeedSequence()
-    elif isinstance(seed, np.random.SeedSequence):
-        ss = seed
-    else:
-        ss = np.random.SeedSequence(seed)
-    return ss.spawn(n)
+    return as_seed_sequence(seed).spawn(n)
 
 
 def spawn_generators(seed, n: int) -> list[np.random.Generator]:

@@ -16,6 +16,8 @@ Parallel-IDLA inner loop, where all unsettled particles advance together.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.graphs.csr import Graph, neighbor_kernel
@@ -55,21 +57,31 @@ def csr_step(
     u: np.ndarray,
     out: np.ndarray | None = None,
 ) -> np.ndarray:
-    """One simple-random-walk step for raw CSR arrays (legacy entry point).
+    """Deprecated raw-CSR-array step; use :func:`neighbor_step` instead.
 
-    Kept for callers holding bare ``indptr``/``indices``/``degrees``
-    arrays; graph-bound code should use :func:`neighbor_step`, which works
-    for implicit families too.
+    The raw-array surface predates the neighbour-kernel seam and only
+    works for materialised CSR graphs; every in-repo caller now binds a
+    kernel (``repro.graphs.csr.neighbor_kernel(g)`` or a closure over
+    bare arrays) and calls :func:`neighbor_step`, which serves the
+    implicit families too.  This shim forwards there — same offsets,
+    same gather, bit-identical output — and will be removed once
+    external callers have migrated.
     """
-    deg = degrees[positions]
-    offsets = (u * deg).astype(np.int64)
-    # floating-point guard: u < 1 ensures offsets < deg, but be explicit
-    np.minimum(offsets, deg - 1, out=offsets)
-    flat = indptr[positions] + offsets
-    if out is None:
-        return indices[flat]
-    np.take(indices, flat, out=out)
-    return out
+    warnings.warn(
+        "csr_step is deprecated; bind a slot kernel (e.g. "
+        "repro.graphs.csr.neighbor_kernel(g)) and call neighbor_step instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+
+    def kernel(pos, offsets, out=None):
+        flat = indptr[pos] + offsets
+        if out is None:
+            return indices[flat]
+        np.take(indices, flat, out=out)
+        return out
+
+    return neighbor_step(kernel, degrees, positions, u, out)
 
 
 class WalkEngine:

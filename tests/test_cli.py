@@ -99,6 +99,31 @@ class TestRun:
             run_cli("run", "petersen", "16")
 
 
+    def test_run_precision_flag(self):
+        code, text = run_cli(
+            "run",
+            "complete",
+            "32",
+            "--process",
+            "parallel",
+            "--ci-rel",
+            "0.5",
+            "--reps",
+            "4",
+            "--max-reps",
+            "64",
+        )
+        assert code == 0
+        assert "adaptive:" in text and "round(s)" in text
+
+    def test_run_rejects_bad_precision_combo(self):
+        # Precision validation errors surface as exit code 2, not tracebacks
+        code, _ = run_cli(
+            "run", "complete", "32", "--ci-rel", "-0.1"
+        )
+        assert code == 2
+
+
 class TestSweep:
     def test_sweep_output(self):
         code, text = run_cli("sweep", "complete", "32", "64", "--reps", "2")
@@ -114,6 +139,22 @@ class TestSweep:
         assert code == 0
         assert "single realised size" in text
         assert "exponent" not in text
+
+
+    def test_sweep_precision_flag(self):
+        code, text = run_cli(
+            "sweep",
+            "complete",
+            "32",
+            "64",
+            "--ci-rel",
+            "0.5",
+            "--reps",
+            "2",
+            "--max-reps",
+            "32",
+        )
+        assert code == 0
 
 
 class TestBounds:

@@ -198,16 +198,18 @@ def test_runner_batched_dispatch_is_invisible(process):
 
 def test_runner_batched_rejects_unsupported_kwargs():
     g = cycle_graph(16)
-    with pytest.raises(ValueError, match="faithful_r"):
+    # unknown driver kwargs fail fast with the accepted-options TypeError
+    # (formerly they reached _validate_forced_batched as a ValueError)
+    with pytest.raises(TypeError, match="faithful_r"):
         estimate_dispersion(
             g, "parallel", reps=4, seed=0, batched=True, faithful_r=True
         )
-    with pytest.raises(ValueError, match="no batched driver"):
+    with pytest.raises(KeyError, match="unknown process"):
         estimate_dispersion(g, "unknown-process", reps=4, seed=0, batched=True)
     with pytest.raises(ValueError, match="batched must be"):
         estimate_dispersion(g, "parallel", reps=4, seed=0, batched="true")
     # unsupported kwargs are rejected before any fan-out worker starts
-    with pytest.raises(ValueError, match="faithful_r"):
+    with pytest.raises(TypeError, match="faithful_r"):
         estimate_dispersion(
             g, "parallel", reps=4, seed=0, batched=True, n_jobs=2, faithful_r=True
         )
@@ -311,9 +313,10 @@ def test_step_batch_matches_flat_step(rows, cols, seed):
     expected = np.empty_like(pos)
     for r in range(rows):
         # identical kernel on each row with that row's uniforms
-        from repro.walks.engine import csr_step
+        from repro.graphs.csr import neighbor_kernel
+        from repro.walks.engine import neighbor_step
 
-        expected[r] = csr_step(g.indptr, g.indices, g.degrees, pos[r], u[r])
+        expected[r] = neighbor_step(neighbor_kernel(g), g.degrees, pos[r], u[r])
     assert np.array_equal(batched, expected)
     assert flat_eng is not eng  # engines untouched by supplied uniforms
 

@@ -293,9 +293,11 @@ def test_runner_batched_dispatch_is_invisible(process):
 
 def test_runner_batched_rejects_unsupported_kwargs():
     g = cycle_graph(16)
-    with pytest.raises(ValueError, match="faithful_r"):
+    # unknown driver kwargs fail fast with the accepted-options TypeError
+    # (formerly they reached _validate_forced_batched as a ValueError)
+    with pytest.raises(TypeError, match="faithful_r"):
         estimate_dispersion(g, "ctu", reps=4, seed=0, batched=True, faithful_r=True)
-    with pytest.raises(ValueError, match="rate"):
+    with pytest.raises(TypeError, match="rate"):
         estimate_dispersion(g, "uniform", reps=4, seed=0, batched=True, rate=2.0)
     # record / faithful_r are no longer serial-only: forced batching
     # accepts them and the estimate carries the recorded artefacts

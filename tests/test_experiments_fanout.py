@@ -132,7 +132,9 @@ class TestFanoutEstimate:
         assert np.array_equal(a.samples, b.samples)
 
     def test_forced_batched_rejects_unsupported_kwargs_before_fanout(self):
-        with pytest.raises(ValueError, match="faithful_r"):
+        # unknown kwargs now die in the upfront driver-kwargs validation
+        # (TypeError naming the options), still before any worker spawns
+        with pytest.raises(TypeError, match="faithful_r"):
             estimate_dispersion(
                 cycle_graph(12),
                 "parallel",
