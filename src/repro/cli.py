@@ -107,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="lock-step batched dispatch: auto (default heuristic), "
         "true (force, per shard when --jobs > 1), false (serial oracle)",
     )
+    run.add_argument(
+        "--state-budget",
+        default=None,
+        metavar="SPEC",
+        help="cap batched resident state: bytes with K/M/G suffix "
+        "('256M', '1G') or live particles ('500000p'); repetitions then "
+        "run in budget-sized cohorts (per worker when --jobs > 1) "
+        "without changing any sample",
+    )
 
     sw = sub.add_parser("sweep", help="sweep sizes and fit scaling laws")
     sw.add_argument("family")
@@ -204,6 +213,14 @@ def _cmd_run(args, out) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     kwargs = {"lazy": True} if args.lazy else {}
+    if args.state_budget is not None:
+        from repro.core.budget import parse_state_budget
+
+        try:
+            kwargs["state_budget"] = parse_state_budget(args.state_budget)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     fam = get_family(args.family)
     g = fam.build(args.n, seed=args.seed)
     est = estimate_dispersion(

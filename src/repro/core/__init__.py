@@ -47,6 +47,12 @@ from repro.core.batched_continuous import (
     batched_ctu_idla,
     batched_uniform_idla,
 )
+from repro.core.budget import (
+    BudgetPlan,
+    StateBudget,
+    parse_state_budget,
+    plan_state,
+)
 from repro.core.origins import resolve_origins
 from repro.core.blocks import (
     Block,
@@ -59,6 +65,7 @@ from repro.core.parallel import parallel_idla
 from repro.core.results import DispersionResult
 from repro.core.sequential import sequential_idla
 from repro.core.stopping_rules import DelayedRule, HairRule, StoppingRule, standard_rule
+from repro.core.trajectory import TrajectoryArrays
 from repro.core.uniform import sample_schedule, uniform_idla
 
 __all__ = [
@@ -73,6 +80,11 @@ __all__ = [
     "batched_ctu_idla",
     "batched_uniform_idla",
     "batched_continuous_sequential_idla",
+    "StateBudget",
+    "BudgetPlan",
+    "parse_state_budget",
+    "plan_state",
+    "TrajectoryArrays",
     "Block",
     "is_valid_sequential_block",
     "is_valid_parallel_block",

@@ -84,10 +84,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.budget import cohort_slices, plan_state
 from repro.core.origins import resolve_origins
 from repro.core.results import DispersionResult
 from repro.core.sequential import _BLOCK as _SERIAL_SEQ_BLOCK
 from repro.core.settlement import (
+    chunked_vacancies,
     instant_settle_chain,
     select_settlers,
     settle_vacant_starts,
@@ -128,33 +130,55 @@ _BLOCK: int | None = None
 _TAIL_THRESHOLD = 16
 
 
-def _parallel_streams(gens, m: int) -> UniformStreams:
+def _parallel_streams(gens, m: int, budget_doubles=None) -> UniformStreams:
     """Streams for the parallel driver: one round consumes <= 2·m + 2."""
-    return UniformStreams(gens, per_rep_min=2 * m + 2, block=_BLOCK)
-
-
-def _sequential_streams(gens) -> UniformStreams:
-    """Streams for the sequential driver, aligned to the serial fetch grid."""
     return UniformStreams(
-        gens, per_rep_min=1, align=_SERIAL_SEQ_BLOCK, block=_BLOCK
+        gens, per_rep_min=2 * m + 2, block=_BLOCK, budget_doubles=budget_doubles
     )
 
 
-def stream_block(process: str, reps: int, num_particles: int) -> int:
+def _sequential_streams(gens, budget_doubles=None) -> UniformStreams:
+    """Streams for the sequential driver, aligned to the serial fetch grid."""
+    return UniformStreams(
+        gens,
+        per_rep_min=1,
+        align=_SERIAL_SEQ_BLOCK,
+        block=_BLOCK,
+        budget_doubles=budget_doubles,
+    )
+
+
+def stream_block(
+    process: str,
+    reps: int,
+    num_particles: int,
+    *,
+    budget_doubles: int | None = None,
+) -> int:
     """Per-repetition streaming chunk (doubles) a batched run allocates.
 
     The synchronous drivers' own sizing export — resolved through the same
     :func:`repro.utils.rng.resolve_stream_block` the drivers' allocations
     use, so reported sizes always match reality (pinned by
-    ``tests/test_streaming_buffers.py``).
+    ``tests/test_streaming_buffers.py``).  ``budget_doubles`` is the
+    stream shrink a byte :class:`~repro.core.budget.StateBudget` resolves
+    to (``BudgetPlan.stream_budget_doubles``); pass it to report the
+    budgeted allocation.
     """
     if process == "parallel":
         return resolve_stream_block(
-            reps, per_rep_min=2 * num_particles + 2, block=_BLOCK
+            reps,
+            per_rep_min=2 * num_particles + 2,
+            block=_BLOCK,
+            budget_doubles=budget_doubles,
         )
     if process == "sequential":
         return resolve_stream_block(
-            reps, per_rep_min=1, align=_SERIAL_SEQ_BLOCK, block=_BLOCK
+            reps,
+            per_rep_min=1,
+            align=_SERIAL_SEQ_BLOCK,
+            block=_BLOCK,
+            budget_doubles=budget_doubles,
         )
     raise ValueError(f"no synchronous batched driver for process {process!r}")
 
@@ -370,13 +394,14 @@ def batched_parallel_idla(
     seeds=None,
     seed=None,
     lazy: bool = False,
-    record: bool = False,
+    record: bool | str = False,
     tie_break: str = "index",
     rule: StoppingRule | None = None,
     num_particles: int | None = None,
     scalar_threshold: int = 16,
     max_rounds: float | None = None,
     tail_threshold: int | None = None,
+    state_budget=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Parallel-IDLA realisations in lock-step.
 
@@ -401,6 +426,15 @@ def batched_parallel_idla(
         driver's own scalar narrow phase); ``0`` disables the handoff,
         ``None`` uses the module default.  A performance knob only —
         results are bit-identical either way.
+    state_budget:
+        Optional :class:`repro.core.budget.StateBudget` (or spec string)
+        capping resident simulation state.  Resolved by
+        :func:`repro.core.budget.plan_state` into repetition cohorts run
+        back to back, mid-round particle chunking of the step/probe
+        transients, and a streaming-buffer shrink — all invisible in the
+        results (each repetition still consumes its own stream in serial
+        order).  ``record=True`` trajectory storage grows with total
+        steps and is deliberately outside the cap.
 
     Returns
     -------
@@ -426,6 +460,32 @@ def batched_parallel_idla(
     R = len(gens)
     if R == 0:
         return []
+    plan = plan_state(state_budget, "parallel", n, m)
+    if plan.cohort_reps < R:
+        # budgeted cohorts: run `cohort_reps` repetitions to completion at
+        # a time.  Repetition r always consumes generator r's stream, so
+        # the grouping is invisible in the results; the recursive call
+        # re-resolves the same plan and proceeds single-cohort.
+        out: list[DispersionResult] = []
+        for a, b in cohort_slices(R, plan.cohort_reps):
+            out.extend(
+                batched_parallel_idla(
+                    g,
+                    origin,
+                    seeds=gens[a:b],
+                    lazy=lazy,
+                    record=record,
+                    tie_break=tie_break,
+                    rule=rule,
+                    num_particles=num_particles,
+                    scalar_threshold=scalar_threshold,
+                    max_rounds=max_rounds,
+                    tail_threshold=tail_threshold,
+                    state_budget=state_budget,
+                )
+            )
+        return out
+    step_chunk = plan.step_chunk
     use_default_rule = rule is None or rule is standard_rule
     budget = float("inf") if max_rounds is None else float(max_rounds)
     process = "parallel-lazy" if lazy else "parallel"
@@ -474,7 +534,7 @@ def batched_parallel_idla(
         rep_ids, pid = rep_ids[alive], pid[alive]
     pos = starts2d[rep_ids, pid].copy()
 
-    streams = _parallel_streams(gens, m)
+    streams = _parallel_streams(gens, m, plan.stream_budget_doubles)
     block = streams.block
     streams.fill(range(R))
     buf_flat = streams.flat
@@ -628,7 +688,35 @@ def batched_parallel_idla(
         if rounds_buffered <= 0:
             refill()
         rounds_buffered -= 1
-        if lazy:
+        if step_chunk is not None and step_chunk < rep_ids.size:
+            # budgeted round body: identical elementwise work over
+            # `step_chunk`-sized slices of the flat state, so the per-round
+            # scratch (uniform gathers, offsets, `where` temps) is bounded
+            # by the chunk instead of the walker count.  Elementwise ufuncs
+            # are slice-invariant, so every double lands exactly where the
+            # one-shot body would put it.
+            for a in range(0, rep_ids.size, step_chunk):
+                sl = slice(a, min(a + step_chunk, rep_ids.size))
+                if lazy:
+                    we = wide_exp[sl]
+                    u = buf_flat[bidx[sl]]
+                    u2 = buf_flat[bidx[sl] + np.where(we, k_exp[sl], 0)]
+                    move = u >= 0.5
+                    ustep = np.where(we, u2, 2.0 * (u - 0.5))
+                    new = neighbor_step(kernel, degrees_g, pos[sl], ustep)
+                    pos[sl] = np.where(move, new, pos[sl])
+                elif regular:
+                    u = buf_flat[bidx[sl]]
+                    offsets = (u * c_float).astype(np.int64)
+                    np.minimum(offsets, c_int - 1, out=offsets)
+                    pos[sl] = kernel(pos[sl], offsets)
+                else:
+                    u = buf_flat[bidx[sl]]
+                    deg = degf[pos[sl]]
+                    offsets = (u * deg).astype(np.int64)
+                    np.minimum(offsets, degm1[pos[sl]], out=offsets)
+                    pos[sl] = kernel(pos[sl], offsets)
+        elif lazy:
             u = buf_flat[bidx]
             u2 = buf_flat[bidx + np.where(wide_exp, k_exp, 0)]
             move = u >= 0.5
@@ -659,10 +747,9 @@ def batched_parallel_idla(
             store.append(rep_ids, pid, pos)
         bptr += counts
         bidx += counts_exp
-        occv = occ[rep_off + pos]
-        if occv.all():
+        cand = chunked_vacancies(occ, rep_off, pos, step_chunk)
+        if cand.size == 0:
             continue
-        cand = np.flatnonzero(~occv)
         if not use_default_rule:
             allowed = np.fromiter(
                 (bool(rule(t, int(v), True)) for v in pos[cand]),
@@ -696,7 +783,12 @@ def batched_parallel_idla(
         handoff = tail_ready()
 
     # ---- per-repetition result assembly
-    traj_all = store.finalize() if store is not None else None
+    if store is None:
+        traj_all = None
+    elif record == "arrays":
+        traj_all = store.finalize_arrays()
+    else:
+        traj_all = store.finalize()
     results = []
     for r in range(R):
         settled = np.flatnonzero(settled2d[r] >= 0)
@@ -805,11 +897,12 @@ def batched_sequential_idla(
     seeds=None,
     seed=None,
     lazy: bool = False,
-    record: bool = False,
+    record: bool | str = False,
     rule: StoppingRule | None = None,
     num_particles: int | None = None,
     max_total_steps: float | None = None,
     tail_threshold: int | None = None,
+    state_budget=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Sequential-IDLA realisations in lock-step.
 
@@ -848,6 +941,27 @@ def batched_sequential_idla(
     R = len(gens)
     if R == 0:
         return []
+    plan = plan_state(state_budget, "sequential", n, m)
+    if plan.cohort_reps < R:
+        # budgeted cohorts (see batched_parallel_idla): repetition r keeps
+        # its own stream, so grouping is invisible in the results
+        out: list[DispersionResult] = []
+        for a, b in cohort_slices(R, plan.cohort_reps):
+            out.extend(
+                batched_sequential_idla(
+                    g,
+                    origin,
+                    seeds=gens[a:b],
+                    lazy=lazy,
+                    record=record,
+                    rule=rule,
+                    num_particles=num_particles,
+                    max_total_steps=max_total_steps,
+                    tail_threshold=tail_threshold,
+                    state_budget=state_budget,
+                )
+            )
+        return out
     use_default_rule = rule is None or rule is standard_rule
     budget = float("inf") if max_total_steps is None else float(max_total_steps)
     process = "sequential-lazy" if lazy else "sequential"
@@ -875,7 +989,7 @@ def batched_sequential_idla(
     live = np.asarray(live_list, dtype=np.int64)
     pos = np.asarray(pos_list, dtype=np.int64)
 
-    streams = _sequential_streams(gens)
+    streams = _sequential_streams(gens, plan.stream_budget_doubles)
     block = streams.block
     streams.fill(live_list)
     buf_flat = streams.flat
@@ -978,7 +1092,12 @@ def batched_sequential_idla(
             base = live * block
             vert_off = live * n
 
-    traj_all = store.finalize() if store is not None else None
+    if store is None:
+        traj_all = None
+    elif record == "arrays":
+        traj_all = store.finalize_arrays()
+    else:
+        traj_all = store.finalize()
     results = []
     for r in range(R):
         steps_r = steps2d[r].copy()

@@ -57,6 +57,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.batched import _resolve_generators
+from repro.core.budget import cohort_slices, plan_state
 from repro.core.origins import resolve_origins
 from repro.core.results import DispersionResult
 from repro.core.sequential import _BLOCK as _SEQ_BLOCK
@@ -81,9 +82,11 @@ __all__ = [
 _BLOCK: int | None = None
 
 
-def _lane_streams(gens) -> UniformStreams:
+def _lane_streams(gens, budget_doubles=None) -> UniformStreams:
     """Streams for the tick-scheduled drivers: <= 3 doubles per tick."""
-    return UniformStreams(gens, per_rep_min=3, block=_BLOCK)
+    return UniformStreams(
+        gens, per_rep_min=3, block=_BLOCK, budget_doubles=budget_doubles
+    )
 
 
 def stream_block(process: str, reps: int, num_particles: int | None = None) -> int:
@@ -171,8 +174,9 @@ def batched_ctu_idla(
     seeds=None,
     seed=None,
     rate: float = 1.0,
-    record: bool = False,
+    record: bool | str = False,
     num_particles: int | None = None,
+    state_budget=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent CTU-IDLA realisations in lock-step.
 
@@ -215,6 +219,24 @@ def batched_ctu_idla(
     R = len(gens)
     if R == 0:
         return []
+    plan = plan_state(state_budget, "ctu", n, m)
+    if plan.cohort_reps < R:
+        # budgeted cohorts (see batched_parallel_idla): repetition r keeps
+        # its own stream, so grouping is invisible in the results
+        out: list[DispersionResult] = []
+        for a, b in cohort_slices(R, plan.cohort_reps):
+            out.extend(
+                batched_ctu_idla(
+                    g,
+                    origin,
+                    seeds=gens[a:b],
+                    rate=rate,
+                    record=record,
+                    num_particles=num_particles,
+                    state_budget=state_budget,
+                )
+            )
+        return out
 
     starts2d = np.empty((R, m), dtype=np.int64)
     for r, gen in enumerate(gens):
@@ -244,7 +266,7 @@ def batched_ctu_idla(
     laneM = lanes * m
     laneN = lanes * n
 
-    streams = _lane_streams(gens)
+    streams = _lane_streams(gens, plan.stream_budget_doubles)
     block = streams.block
     buf = streams.buf
     cursor = block  # forces the initial fill
@@ -306,7 +328,12 @@ def batched_ctu_idla(
             laneM, laneN = laneM[keep], laneN[keep]
 
     # ---- per-repetition result assembly
-    traj_all = store.finalize() if store is not None else None
+    if store is None:
+        traj_all = None
+    elif record == "arrays":
+        traj_all = store.finalize_arrays()
+    else:
+        traj_all = store.finalize()
     results = []
     for r in range(R):
         row = slice(r * m, (r + 1) * m)
@@ -333,6 +360,91 @@ def batched_ctu_idla(
 # ----------------------------------------------------------------------
 # Uniform-IDLA
 # ----------------------------------------------------------------------
+def _finish_faithful_lane(
+    r: int,
+    row: np.ndarray,
+    bptr: int,
+    ticks: int,
+    k: int,
+    streams: UniformStreams,
+    m: int,
+    n: int,
+    pickf: float,
+    pick_cap: int,
+    step,
+    posflat,
+    stepsflat,
+    settledflat,
+    occ,
+    order: list,
+    schedule_store: ScheduleStore,
+    store,
+) -> int:
+    """Finish the last live ``faithful_r`` repetition by bulk-scanning picks.
+
+    Late in a ``faithful_r`` run almost every tick is wasted — the literal
+    i.i.d. schedule keeps naming already-settled particles, and the
+    lock-step loop pays a full round of NumPy dispatch per single wasted
+    double.  With one lane left the schedule no longer interleaves with
+    other lanes, so the remaining buffered doubles can be scanned in
+    bulk: vectorise the picks over the whole unconsumed buffer, find the
+    first one naming an unsettled particle, append the wasted run to the
+    :class:`~repro.core.trajectory.ScheduleStore` in one slice and jump
+    the clock by the run length.  The very same doubles are consumed in
+    the very same order as the per-tick loop (the extra picks computed
+    past the first active one are discarded, not consumed), so results
+    remain bit-identical to the serial oracle — this is an O(1)-NumPy-
+    calls-per-run replacement for O(run) wasted ticks, not a change of
+    schedule distribution.
+
+    Returns the repetition's final tick count.
+    """
+    block = row.size
+    settled_row = settledflat[r * m : (r + 1) * m]
+    occ_row = occ[r * n : (r + 1) * n]
+    rarr = np.array([r], dtype=np.int64)
+    while True:
+        if bptr >= block:
+            streams.refill_tail(r, bptr)
+            bptr = 0
+        avail = row[bptr:]
+        picks = (avail * pickf).astype(np.int64)
+        np.minimum(picks, pick_cap, out=picks)
+        picks += 1
+        wasted = settled_row[picks] >= 0
+        if wasted.all():
+            # the whole buffer is wasted ticks: one slice append, one jump
+            schedule_store.append_run(r, picks)
+            ticks += picks.size
+            bptr = block
+            continue
+        j = int(np.argmin(wasted))  # first pick naming an unsettled particle
+        schedule_store.append_run(r, picks[: j + 1])
+        ticks += j + 1
+        bptr += j + 1
+        if bptr >= block:
+            streams.refill_tail(r, bptr)
+            bptr = 0
+        p = int(picks[j])
+        cell = r * m + p
+        # 1-element slice through the same vectorised stepper the lock-step
+        # loop uses: identical ufunc path, identical bits
+        vnew = step(posflat[cell : cell + 1], row[bptr : bptr + 1])
+        posflat[cell] = vnew[0]
+        stepsflat[cell] += 1
+        bptr += 1
+        if store is not None:
+            store.append(rarr, np.array([p], dtype=np.int64), vnew)
+        v = int(vnew[0])
+        if not occ_row[v]:
+            occ_row[v] = True
+            settled_row[p] = v
+            order.append(p)
+            k -= 1
+            if not k:
+                return ticks
+
+
 def batched_uniform_idla(
     g: Graph,
     origin=0,
@@ -340,10 +452,11 @@ def batched_uniform_idla(
     reps: int | None = None,
     seeds=None,
     seed=None,
-    record: bool = False,
+    record: bool | str = False,
     faithful_r: bool = False,
     num_particles: int | None = None,
     max_ticks: float | None = None,
+    state_budget=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Uniform-IDLA realisations in lock-step.
 
@@ -372,6 +485,25 @@ def batched_uniform_idla(
     R = len(gens)
     if R == 0:
         return []
+    plan = plan_state(state_budget, "uniform", n, m)
+    if plan.cohort_reps < R:
+        # budgeted cohorts (see batched_parallel_idla): repetition r keeps
+        # its own stream, so grouping is invisible in the results
+        out: list[DispersionResult] = []
+        for a, b in cohort_slices(R, plan.cohort_reps):
+            out.extend(
+                batched_uniform_idla(
+                    g,
+                    origin,
+                    seeds=gens[a:b],
+                    record=record,
+                    faithful_r=faithful_r,
+                    num_particles=num_particles,
+                    max_ticks=max_ticks,
+                    state_budget=state_budget,
+                )
+            )
+        return out
     budget = float("inf") if max_ticks is None else float(max_ticks)
     check_budget = max_ticks is not None
 
@@ -410,7 +542,7 @@ def batched_uniform_idla(
     laneM = lanes * m
     laneN = lanes * n
 
-    streams = _lane_streams(gens)
+    streams = _lane_streams(gens, plan.stream_budget_doubles)
     block = streams.block
     laneB = lanes * block
     streams.fill(lanes_list)
@@ -431,6 +563,34 @@ def batched_uniform_idla(
         pick_cap = m - 2
         refill_countdown = block // 2
         while lanes.size:
+            if lanes.size == 1 and not check_budget:
+                # single lane left (or a budget forced 1-rep cohorts):
+                # switch to the bulk wasted-tick scanner — late-run
+                # faithful_r time is dominated by wasted schedule picks,
+                # which it consumes a whole buffer at a time
+                r = int(lanes[0])
+                final_ticks[r] = _finish_faithful_lane(
+                    r,
+                    bufflat[r * block : (r + 1) * block],
+                    int(bptrL[0]),
+                    int(ticksL[0]),
+                    int(kL[0]),
+                    streams,
+                    m,
+                    n,
+                    pickf,
+                    pick_cap,
+                    step,
+                    posflat,
+                    stepsflat,
+                    settledflat,
+                    occ,
+                    orders[r],
+                    schedule_store,
+                    store,
+                )
+                lanes = lanes[:0]  # run complete; skip the default-mode loop
+                break
             if refill_countdown <= 0:
                 for li in np.flatnonzero(bptrL + 2 > block).tolist():
                     streams.refill_tail(int(lanes[li]), int(bptrL[li]))
@@ -540,7 +700,12 @@ def batched_uniform_idla(
             logqL, ticksL, bptrL = logqL[keep], ticksL[keep], bptrL[keep]
             laneM, laneN, laneB = laneM[keep], laneN[keep], laneB[keep]
 
-    traj_all = store.finalize() if store is not None else None
+    if store is None:
+        traj_all = None
+    elif record == "arrays":
+        traj_all = store.finalize_arrays()
+    else:
+        traj_all = store.finalize()
     results = []
     for r in range(R):
         row = slice(r * m, (r + 1) * m)
@@ -577,7 +742,8 @@ def batched_continuous_sequential_idla(
     seeds=None,
     seed=None,
     rate: float = 1.0,
-    record: bool = False,
+    record: bool | str = False,
+    state_budget=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Poissonised Sequential-IDLA realisations.
 
@@ -597,7 +763,9 @@ def batched_continuous_sequential_idla(
     gens = _resolve_generators(seeds, seed, reps)
     if not gens:
         return []
-    walks = batched_sequential_idla(g, origin, seeds=gens, record=record)
+    walks = batched_sequential_idla(
+        g, origin, seeds=gens, record=record, state_budget=state_budget
+    )
     results = []
     for r, res in enumerate(walks):
         if res.total_steps == 0:

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.graphs.csr import Graph
 
 __all__ = [
@@ -40,8 +42,12 @@ class Block:
     Parameters
     ----------
     rows:
-        ``rows[i]`` is the trajectory of particle ``i`` (list of vertices,
-        first entry is the origin).  Rows are copied.
+        ``rows[i]`` is the trajectory of particle ``i`` (sequence of
+        vertices, first entry is the origin).  Rows are copied; both the
+        serial drivers' ``list[list[int]]`` shape and the array shapes
+        (:class:`repro.core.trajectory.TrajectoryArrays`, or any iterable
+        of integer ndarrays) are accepted — array rows are converted to
+        plain-int lists, so Cut & Paste always mutates Python lists.
 
     Notes
     -----
@@ -53,7 +59,9 @@ class Block:
     __slots__ = ("rows", "_endpoint_row")
 
     def __init__(self, rows: Iterable[Sequence[int]]):
-        self.rows: list[list[int]] = [list(r) for r in rows]
+        self.rows: list[list[int]] = [
+            r.tolist() if isinstance(r, np.ndarray) else list(r) for r in rows
+        ]
         if not self.rows:
             raise ValueError("block must have at least one row")
         if any(len(r) == 0 for r in self.rows):

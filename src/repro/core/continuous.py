@@ -46,7 +46,7 @@ def ctu_idla(
     *,
     rate: float = 1.0,
     seed=None,
-    record: bool = False,
+    record: bool | str = False,
     num_particles: int | None = None,
 ) -> DispersionResult:
     """Run one continuous-time Uniform-IDLA realisation.
@@ -119,6 +119,10 @@ def ctu_idla(
             k -= 1
             denom = k * rate
 
+    if record == "arrays" and trajectories is not None:
+        from repro.core.trajectory import TrajectoryArrays
+
+        trajectories = TrajectoryArrays.from_lists(trajectories)
     steps_arr = np.asarray(steps, dtype=np.int64)
     result = DispersionResult(
         process="ctu",
@@ -144,7 +148,7 @@ def continuous_sequential_idla(
     *,
     rate: float = 1.0,
     seed=None,
-    record: bool = False,
+    record: bool | str = False,
 ) -> DispersionResult:
     """Run one continuous-time Sequential-IDLA realisation.
 

@@ -48,7 +48,7 @@ def parallel_idla(
     *,
     lazy: bool = False,
     seed=None,
-    record: bool = False,
+    record: bool | str = False,
     tie_break: str = "index",
     rule: StoppingRule | None = None,
     num_particles: int | None = None,
@@ -227,6 +227,10 @@ def parallel_idla(
         for p in act:
             steps[p] = t
 
+    if record == "arrays" and trajectories is not None:
+        from repro.core.trajectory import TrajectoryArrays
+
+        trajectories = TrajectoryArrays.from_lists(trajectories)
     settled_steps = steps[settled_at >= 0]
     dispersion = int(settled_steps.max()) if settled_steps.size else 0
     return DispersionResult(

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.blocks import Block
+from repro.core.trajectory import TrajectoryArrays
 
 __all__ = ["DispersionResult"]
 
@@ -42,7 +43,9 @@ class DispersionResult:
         (Uniform-IDLA ticks, CTU continuous time); ``None`` otherwise.
     trajectories:
         Full per-particle vertex sequences when the driver was called with
-        ``record=True``; ``None`` otherwise.
+        ``record=True`` (``list[list[int]]``) or ``record="arrays"``
+        (:class:`~repro.core.trajectory.TrajectoryArrays`); ``None``
+        otherwise.  The two shapes compare equal by content.
     num_particles:
         Number of particles ``m`` (§6.2 variant); ``None`` means the
         classic ``m = n``.  With ``m > n`` (Parallel-IDLA only) the
@@ -59,7 +62,9 @@ class DispersionResult:
     settled_at: np.ndarray
     settle_order: np.ndarray
     ticks: float | None = None
-    trajectories: list[list[int]] | None = field(default=None, repr=False)
+    trajectories: list[list[int]] | TrajectoryArrays | None = field(
+        default=None, repr=False
+    )
     num_particles: int | None = None
 
     @property
@@ -80,6 +85,24 @@ class DispersionResult:
                 "trajectories were not recorded; rerun the driver with record=True"
             )
         return Block(self.trajectories)
+
+    def trajectory_arrays(self) -> TrajectoryArrays:
+        """Trajectories as a zero-copy ragged array container.
+
+        The array-native view for large-``n`` analyses: ``row(p)`` is an
+        ndarray view of particle ``p``'s vertex sequence, no Python ints.
+        Free when the driver ran with ``record="arrays"``; under plain
+        ``record=True`` the list-of-lists shape is converted (one bulk
+        copy).  Raises when trajectories were not recorded at all.
+        """
+        if self.trajectories is None:
+            raise ValueError(
+                "trajectories were not recorded; rerun the driver with "
+                "record=True or record='arrays'"
+            )
+        if isinstance(self.trajectories, TrajectoryArrays):
+            return self.trajectories
+        return TrajectoryArrays.from_lists(self.trajectories)
 
     def is_complete_dispersion(self) -> bool:
         """Settlement is as complete as ``m`` vs ``n`` allows.

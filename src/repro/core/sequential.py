@@ -39,7 +39,7 @@ def sequential_idla(
     *,
     lazy: bool = False,
     seed=None,
-    record: bool = False,
+    record: bool | str = False,
     rule: StoppingRule | None = None,
     num_particles: int | None = None,
     max_total_steps: float | None = None,
@@ -168,6 +168,10 @@ def sequential_idla(
             trajectories.append(traj)
         particle += 1
 
+    if record == "arrays" and trajectories is not None:
+        from repro.core.trajectory import TrajectoryArrays
+
+        trajectories = TrajectoryArrays.from_lists(trajectories)
     return DispersionResult(
         process="sequential-lazy" if lazy else "sequential",
         graph_name=g.name,

@@ -24,6 +24,7 @@ import numpy as np
 __all__ = [
     "select_settlers",
     "settle_vacant_starts",
+    "chunked_vacancies",
     "instant_settle_chain",
     "settle_vacant_starts_inorder",
     "UnsettledPool",
@@ -75,6 +76,40 @@ def settle_vacant_starts(
         return candidates
     winners = select_settlers(starts[candidates], priority[candidates])
     return candidates[winners]
+
+
+def chunked_vacancies(
+    occupied: np.ndarray,
+    rep_off: np.ndarray,
+    pos: np.ndarray,
+    chunk: int | None = None,
+) -> np.ndarray:
+    """Indices of particles standing on vacant cells, probing in chunks.
+
+    The unchunked probe of the batched parallel round allocates two
+    walker-sized transients (``occupied[rep_off + pos]`` and its negation)
+    before reducing to the usually-small candidate set.  Under a
+    :class:`repro.core.budget.StateBudget` the round body is sliced into
+    ``chunk``-sized pieces, so the probe must be too — per chunk the
+    gather, the negation and the flatnonzero are chunk-sized, and the
+    candidate indices (offset back into walker coordinates) concatenate
+    in ascending order, exactly what the global ``flatnonzero`` returns.
+
+    ``chunk=None`` (or a chunk covering all walkers) takes the one-shot
+    path unchanged.
+    """
+    if chunk is None or chunk >= pos.size:
+        return np.flatnonzero(occupied[rep_off + pos] == 0)
+    parts = []
+    for a in range(0, pos.size, chunk):
+        sl = slice(a, min(a + chunk, pos.size))
+        hit = np.flatnonzero(occupied[rep_off[sl] + pos[sl]] == 0)
+        if hit.size:
+            hit += a
+            parts.append(hit)
+    if not parts:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(parts)
 
 
 def settle_vacant_starts_inorder(occupied, starts, settled_at, settle_order) -> list:

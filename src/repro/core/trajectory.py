@@ -45,7 +45,7 @@ import gc
 
 import numpy as np
 
-__all__ = ["TrajectoryStore", "ScheduleStore"]
+__all__ = ["TrajectoryArrays", "TrajectoryStore", "ScheduleStore"]
 
 
 @contextlib.contextmanager
@@ -152,6 +152,85 @@ def _narrow_dtype(max_value: int):
     return np.int64
 
 
+class TrajectoryArrays:
+    """One repetition's trajectories as a ragged array pair, zero-copy rows.
+
+    The ``list[list[int]]`` trajectory shape costs one Python object per
+    recorded vertex — at large ``n`` the final materialisation dominates a
+    recording run (the ROADMAP's "trajectory list tax").  This container
+    is the array-native alternative ``record="arrays"`` produces: one flat
+    vertex array plus an ``(m + 1,)`` int64 offset array, with
+    :meth:`row` returning a **view** (no copy, no Python ints) of particle
+    ``p``'s vertex sequence.
+
+    Equality is by content against either another :class:`TrajectoryArrays`
+    or the serial drivers' list-of-lists shape (``lists == arrays`` also
+    works — Python's reflected ``__eq__`` lands here), which is what lets
+    the differential harness compare the two recording modes directly.
+    :class:`repro.core.blocks.Block` accepts either shape as rows.
+    """
+
+    __slots__ = ("offsets", "flat")
+
+    def __init__(self, offsets: np.ndarray, flat: np.ndarray):
+        self.offsets = offsets
+        self.flat = flat
+
+    @classmethod
+    def from_lists(cls, rows) -> TrajectoryArrays:
+        """Build from the serial drivers' ``list[list[int]]`` shape."""
+        lens = np.fromiter(
+            (len(row) for row in rows), dtype=np.int64, count=len(rows)
+        )
+        offsets = np.concatenate(([0], np.cumsum(lens)))
+        flat = np.empty(int(offsets[-1]), dtype=np.int64)
+        at = 0
+        for row in rows:
+            flat[at : at + len(row)] = row
+            at += len(row)
+        return cls(offsets, flat)
+
+    def __len__(self) -> int:
+        return self.offsets.size - 1
+
+    def row(self, p: int) -> np.ndarray:
+        """Particle ``p``'s vertex sequence — a zero-copy view."""
+        return self.flat[self.offsets[p] : self.offsets[p + 1]]
+
+    def __getitem__(self, p: int) -> np.ndarray:
+        return self.row(p)
+
+    def __iter__(self):
+        for p in range(len(self)):
+            yield self.row(p)
+
+    def to_lists(self) -> list[list[int]]:
+        """Materialise the serial ``list[list[int]]`` shape (pays the tax)."""
+        with _gc_paused():
+            return [self.row(p).tolist() for p in range(len(self))]
+
+    def __eq__(self, other):
+        if isinstance(other, TrajectoryArrays):
+            return np.array_equal(self.offsets, other.offsets) and np.array_equal(
+                self.flat, other.flat
+            )
+        if isinstance(other, (list, tuple)):
+            if len(other) != len(self):
+                return False
+            return all(
+                self.row(p).tolist() == list(other[p]) for p in range(len(self))
+            )
+        return NotImplemented
+
+    __hash__ = None  # mutable array content
+
+    def __repr__(self) -> str:
+        return (
+            f"TrajectoryArrays(particles={len(self)}, "
+            f"events={self.flat.size})"
+        )
+
+
 class TrajectoryStore:
     """Record ``(repetition, particle, vertex)`` events for a batched run.
 
@@ -253,6 +332,44 @@ class TrajectoryStore:
         self._handoff[r] = rows
         return rows
 
+    def finalize_arrays(self) -> list[TrajectoryArrays]:
+        """Materialise every repetition's :class:`TrajectoryArrays`.
+
+        The ``record="arrays"`` finaliser: the same (cached) grouping
+        scatter as :meth:`finalize`, but the grouped vertices land in one
+        flat array with each particle's start vertex prepended — no
+        Python ints, no per-particle lists.  Per-repetition results are
+        zero-copy views into that one array; repetitions previously
+        handed to a scalar finisher contribute their (finisher-mutated)
+        :meth:`handoff` lists, converted.
+        """
+        R, m = self._starts.shape
+        # +1: every particle's sequence is seeded with its start vertex
+        lens = self._counter + 1
+        offsets_all = np.concatenate(([0], np.cumsum(lens)))
+        flat = np.empty(int(offsets_all[-1]), dtype=self._log._dtypes[2])
+        seq_start = offsets_all[:-1]
+        flat[seq_start] = self._starts.reshape(-1)
+        if len(self._log):
+            # the grouped pass orders events by cell then rank — exactly
+            # the order of the non-start positions of `flat`
+            _, _, grouped_verts = self._grouped()
+            mask = np.ones(flat.size, dtype=bool)
+            mask[seq_start] = False
+            flat[mask] = grouped_verts
+        out = []
+        for r in range(R):
+            if r in self._handoff:
+                out.append(TrajectoryArrays.from_lists(self._handoff[r]))
+                continue
+            lo, hi = int(offsets_all[r * m]), int(offsets_all[(r + 1) * m])
+            out.append(
+                TrajectoryArrays(
+                    offsets_all[r * m : (r + 1) * m + 1] - lo, flat[lo:hi]
+                )
+            )
+        return out
+
     def finalize(self) -> list[list[list[int]]]:
         """Materialise every repetition's ``list[list[int]]`` trajectories.
 
@@ -308,6 +425,27 @@ class ScheduleStore:
         rank = self._counter[rep_ids]
         self._counter[rep_ids] = rank + 1
         self._log.append(rep_ids, rank, picks)
+
+    def append_run(self, r: int, picks) -> None:
+        """Record a consecutive run of picks for one repetition.
+
+        The bulk path of the ``faithful_r`` wasted-tick scanner
+        (:func:`repro.core.batched_continuous._finish_faithful_lane`): a
+        whole run of schedule picks — the wasted ticks plus the first
+        active one — lands as one slice append with consecutive ranks,
+        equivalent to ``run-length`` single-repetition :meth:`append`
+        calls.
+        """
+        count = len(picks)
+        if count == 0:
+            return
+        start = int(self._counter[r])
+        self._counter[r] = start + count
+        self._log.append(
+            np.full(count, r, dtype=np.int64),
+            np.arange(start, start + count, dtype=np.int64),
+            picks,
+        )
 
     def finalize(self) -> list[np.ndarray]:
         out = [np.empty(0, dtype=np.int64)] * self._reps

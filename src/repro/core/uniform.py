@@ -68,7 +68,7 @@ def uniform_idla(
     origin=0,
     *,
     seed=None,
-    record: bool = False,
+    record: bool | str = False,
     faithful_r: bool = False,
     num_particles: int | None = None,
     max_ticks: float | None = None,
@@ -175,6 +175,10 @@ def uniform_idla(
                 pool.remove_at(i)
             k -= 1
 
+    if record == "arrays" and trajectories is not None:
+        from repro.core.trajectory import TrajectoryArrays
+
+        trajectories = TrajectoryArrays.from_lists(trajectories)
     steps_arr = np.asarray(steps, dtype=np.int64)
     result = DispersionResult(
         process="uniform",

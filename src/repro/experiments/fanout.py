@@ -65,6 +65,7 @@ __all__ = [
     "SharedGraphSpec",
     "ImplicitGraphSpec",
     "attach",
+    "budget_aligned_shard",
     "plan_shards",
     "run_shard",
     "fanout_estimate",
@@ -199,6 +200,46 @@ def plan_shards(
         shards.append((start, stop))
         start = stop
     return shards
+
+
+def budget_aligned_shard(
+    reps: int, n_jobs: int, cohort_reps: int, *, max_shard: int | None = None
+) -> int:
+    """Shard-size cap aligned to whole ``state_budget`` cohorts.
+
+    When a :class:`repro.core.budget.StateBudget` forces the batched
+    drivers into repetition cohorts of ``cohort_reps``, the natural
+    fan-out shard is a whole number of cohorts: each worker then holds at
+    most one cohort of driver state resident (the budget applies *per
+    worker* — ``n_jobs`` workers hold ``n_jobs`` cohorts in aggregate,
+    which is what the caller asked for by combining the two knobs), and
+    no shard ends on a fractional cohort that re-pays the cohort setup
+    for a sliver of repetitions.
+
+    Starts from the even split ``ceil(reps / n_jobs)`` (tightened by
+    ``max_shard``, the adaptive runner's cost-weighted cap, when given),
+    rounds *down* to a cohort multiple, and never drops below one full
+    cohort — a shard smaller than a cohort frees no memory, because the
+    worker's driver allocates one cohort of state regardless.
+
+    Examples
+    --------
+    >>> budget_aligned_shard(64, 4, 6)   # ceil(64/4)=16 -> 2 cohorts
+    12
+    >>> budget_aligned_shard(8, 4, 6)    # even split smaller than a cohort
+    6
+    >>> budget_aligned_shard(64, 4, 6, max_shard=7)
+    6
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if cohort_reps < 1:
+        raise ValueError(f"cohort_reps must be >= 1, got {cohort_reps}")
+    base = -(-reps // n_jobs)
+    cap = base if max_shard is None else min(base, max_shard)
+    return max(cohort_reps, (cap // cohort_reps) * cohort_reps)
 
 
 def run_shard(

@@ -101,6 +101,7 @@ _BATCHED_KWARGS = {
         "scalar_threshold",
         "max_rounds",
         "tail_threshold",
+        "state_budget",
     },
     "sequential": {
         "lazy",
@@ -109,18 +110,21 @@ _BATCHED_KWARGS = {
         "num_particles",
         "max_total_steps",
         "tail_threshold",
+        "state_budget",
     },
-    "uniform": {"record", "faithful_r", "num_particles", "max_ticks"},
-    "ctu": {"rate", "record", "num_particles"},
-    "c-sequential": {"rate", "record"},
+    "uniform": {"record", "faithful_r", "num_particles", "max_ticks", "state_budget"},
+    "ctu": {"rate", "record", "num_particles", "state_budget"},
+    "c-sequential": {"rate", "record", "state_budget"},
 }
 
 #: Batched-only performance knobs: understood by (some of) the lock-step
 #: drivers but meaningless to the serial oracles, so the serial paths
 #: strip them (for processes whose batched driver accepts them) instead
 #: of crashing the fallback.  Pure performance knobs — stripping never
-#: changes a sample.
-_BATCHED_ONLY_KWARGS = frozenset({"tail_threshold"})
+#: changes a sample.  ``state_budget`` qualifies because the serial
+#: drivers are inherently one-repetition-resident: running them *is* the
+#: tightest cohort a budget could ask for.
+_BATCHED_ONLY_KWARGS = frozenset({"tail_threshold", "state_budget"})
 
 
 def serial_kwargs(process: str, kwargs: dict) -> dict:
@@ -346,12 +350,32 @@ def _round_outcomes(
     child ``r`` (never on how the block is grouped), the outcomes are
     bit-identical whichever branch runs.  ``max_shard`` is the adaptive
     loop's cost-weighted shard ceiling (see ``estimate_dispersion``).
+
+    With a ``state_budget`` that forces repetition cohorts, fan-out
+    shards are additionally capped at a whole number of cohorts
+    (:func:`repro.experiments.fanout.budget_aligned_shard`): each worker
+    keeps at most one cohort of state resident, and no shard ends on a
+    fractional cohort that would re-pay the cohort setup for a sliver of
+    repetitions.  Purely a scheduling decision — shard boundaries never
+    touch a sample.
     """
     reps = len(children)
     jobs = min(n_jobs, reps)
     if jobs > 1:
-        from repro.experiments.fanout import fanout_estimate
+        from repro.experiments.fanout import budget_aligned_shard, fanout_estimate
 
+        budget = kwargs.get("state_budget")
+        if budget is not None:
+            from repro.core.budget import plan_state
+
+            mm = kwargs.get("num_particles")
+            plan = plan_state(
+                budget, process, g.n, g.n if mm is None else int(mm)
+            )
+            if plan.cohort_reps < reps:
+                max_shard = budget_aligned_shard(
+                    reps, jobs, plan.cohort_reps, max_shard=max_shard
+                )
         return fanout_estimate(
             g,
             process,
@@ -539,6 +563,16 @@ def estimate_dispersion(
         estimate (``faithful_r=True`` likewise the realised
         Uniform-IDLA schedules); both batch and fan out like every
         other mode — dispatch stays purely a performance decision.
+        ``state_budget=`` (a :class:`repro.core.budget.StateBudget`, a
+        spec string like ``"256M"`` / ``"500000p"``, or ``None``) caps
+        the batched drivers' resident simulation state: repetitions run
+        in cohorts — with mid-round particle chunking and stream-buffer
+        shrink under byte budgets — instead of one flat ``reps × m``
+        allocation.  Serial paths strip it (they are one-repetition-
+        resident by construction); with ``n_jobs > 1`` the budget
+        applies per worker and shards align to whole cohorts.  Budgets
+        never change a sample — every cohort shape replays the serial
+        streams bit for bit.
 
     Examples
     --------

@@ -548,6 +548,18 @@ class ImplicitHypercube(ImplicitGraph):
             raise ValueError(f"dim must be >= 1, got {dim}")
         super().__init__(1 << dim, f"hypercube-{dim}", const_degree=dim)
         self.dim = dim
+        self._bits = np.int64(1) << np.arange(dim, dtype=np.int64)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        # Single-vertex fast path: the generic _slots pass structure costs
+        # ~2·dim masked array ops per call, which dominates the scalar
+        # tail finisher at full dispersion (one neighbors() per walk
+        # step).  Slot order is clear bits ascending then set bits
+        # ascending — expressible with one mask over the bit table.
+        v = int(v)
+        self.degree(v)  # range-checks v
+        clear = (v & self._bits) == 0
+        return np.concatenate((v ^ self._bits[clear], v ^ self._bits[~clear]))
 
     def _slots(self, positions, offsets):
         result = np.empty_like(positions)

@@ -38,6 +38,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.budget import StateBudget
 from repro.experiments import estimate_dispersion
 from repro.experiments.runner import BATCHED_DRIVERS, PROCESS_DRIVERS
 from repro.graphs import cycle_graph
@@ -165,6 +166,77 @@ def test_estimate_modes_match_serial_oracle(case, record, build):
             assert all(
                 np.array_equal(a, b) for a, b in zip(est.schedules, schedules)
             ), mode
+
+
+#: Budget shapes forcing every cohort geometry on GRAPH (n = m = 24,
+#: REPS = 6): one repetition per cohort, 3-repetition cohorts (two
+#: cohorts), a particle cap *below one repetition's m* (parallel
+#: additionally chunks mid-round), and a byte budget tight enough to
+#: force cohorts and shrink the streaming uniform buffers.
+BUDGETS = {
+    "cohort1": StateBudget(particles=24),
+    "cohort3": StateBudget(particles=72),
+    "subrep": StateBudget(particles=8),
+    "bytes2k": StateBudget(bytes=2000),
+}
+
+
+@pytest.mark.parametrize("budget", BUDGETS, ids=BUDGETS)
+@pytest.mark.parametrize("record", [False, True], ids=["plain", "record"])
+@pytest.mark.parametrize("case", CASES, ids=case_id)
+def test_budgeted_batched_matches_serial_oracle(case, record, budget):
+    """Every budget geometry replays the serial oracle bit for bit.
+
+    Cohort boundaries, mid-round particle chunks and shrunken stream
+    buffers are all invisible in the results — the same guarantees that
+    make batching itself invisible (per-repetition streams, ufunc
+    slice-invariance, double-stream chunk-invariance)."""
+    process, kwargs = case
+    extras = EXTRAS.get(process, ())
+    if kwargs.get("faithful_r"):
+        extras = (*extras, "schedule")
+    serial = serial_oracle(process, kwargs, record)
+    modes = [{}]
+    if process in TAIL_TUNABLE:
+        modes.append({"tail_threshold": 0})
+    for mode in modes:
+        batch = BATCHED_DRIVERS[process](
+            GRAPH,
+            0,
+            seeds=spawn_seed_sequences(PARENT_SEED, REPS),
+            record=record,
+            state_budget=BUDGETS[budget],
+            **kwargs,
+            **mode,
+        )
+        assert len(batch) == REPS
+        for s, b in zip(serial, batch):
+            assert_result_identical(s, b, extras)
+
+
+@pytest.mark.parametrize("case", CASES, ids=case_id)
+def test_budgeted_estimates_match_serial_oracle(case):
+    """``state_budget`` through the runner: forced batch and fan-out.
+
+    ``n_jobs=2`` with a 3-repetition cohort exercises the cohort-aligned
+    shard planning (each worker gets whole cohorts)."""
+    process, kwargs = case
+    serial = serial_oracle(process, kwargs, True)
+    tau = np.asarray([float(r.dispersion_time) for r in serial])
+    trajectories = [r.trajectories for r in serial]
+    for mode in ({"batched": True}, {"batched": True, "n_jobs": 2}):
+        est = estimate_dispersion(
+            GRAPH,
+            process,
+            reps=REPS,
+            seed=PARENT_SEED,
+            record=True,
+            state_budget=StateBudget(particles=72),
+            **kwargs,
+            **mode,
+        )
+        assert np.array_equal(est.samples, tau), mode
+        assert est.trajectories == trajectories, mode
 
 
 @pytest.mark.parametrize("build", ["csr", "implicit"])
