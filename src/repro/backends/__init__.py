@@ -1,0 +1,135 @@
+"""Pluggable array backends for the lock-step engine.
+
+The drivers in ``repro.core`` are branch-free array programs; this
+package is the seam that lets them run on interchangeable array
+namespaces.  ``numpy`` is the default and ``numpy_strict`` (same numpy
+calls behind dtype assertions) proves the protocol is load-bearing;
+the intended next tenants are CuPy/torch device backends, gated on the
+statistical contract in :mod:`repro.backends.contract` when they cannot
+reproduce the NumPy bitstream.
+
+Selection, most specific wins:
+
+1. explicit object/name at a call site
+   (``estimate_dispersion(..., backend="numpy_strict")``),
+2. the ``REPRO_BACKEND`` environment variable,
+3. the ``numpy`` default.
+
+Third-party backends register with :func:`register_backend`; see
+``docs/backends.md`` for the protocol contract.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backends.base import ArrayBackend
+from repro.backends.contract import AnytimeKS, KSVerdict, ks_statistic
+from repro.backends.numpy_backend import NumpyBackend, NumpyStrictBackend
+
+__all__ = [
+    "AnytimeKS",
+    "ArrayBackend",
+    "KSVerdict",
+    "NumpyBackend",
+    "NumpyStrictBackend",
+    "available_backends",
+    "backend_of",
+    "get_backend",
+    "ks_statistic",
+    "register_backend",
+]
+
+#: environment variable consulted when no explicit backend is given.
+ENV_VAR = "REPRO_BACKEND"
+
+_DEFAULT = "numpy"
+
+_REGISTRY: dict[str, ArrayBackend] = {}
+
+
+def register_backend(backend: ArrayBackend, *, overwrite: bool = False) -> ArrayBackend:
+    """Register a backend instance under its ``name``.
+
+    Third-party packages call this at import time; re-registering an
+    existing name raises unless ``overwrite=True`` (tests use that to
+    shadow a backend temporarily).
+    """
+    if not isinstance(backend, ArrayBackend):
+        raise TypeError(
+            f"register_backend expects an ArrayBackend instance, "
+            f"got {type(backend).__name__}"
+        )
+    name = backend.name
+    if not name or name == ArrayBackend.name:
+        raise ValueError(
+            "backend must define a concrete, non-default `name` to register"
+        )
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (primarily for test teardown)."""
+    if name == _DEFAULT:
+        raise ValueError("the default numpy backend cannot be unregistered")
+    _REGISTRY.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, default first, others sorted."""
+    rest = sorted(n for n in _REGISTRY if n != _DEFAULT)
+    return (_DEFAULT, *rest)
+
+
+def get_backend(spec: str | ArrayBackend | None = None) -> ArrayBackend:
+    """Resolve ``spec`` to a backend instance.
+
+    ``None`` consults ``REPRO_BACKEND`` and falls back to ``numpy``;
+    a string is a registry lookup; an :class:`ArrayBackend` instance
+    passes through unchanged.
+    """
+    if spec is None:
+        spec = os.environ.get(ENV_VAR) or _DEFAULT
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"backend must be a name or an ArrayBackend instance, "
+            f"got {type(spec).__name__}"
+        )
+    try:
+        return _REGISTRY[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {spec!r}; available: "
+            f"{', '.join(available_backends())} "
+            "(register third-party backends with "
+            "repro.backends.register_backend)"
+        ) from None
+
+
+def backend_of(g, override: str | ArrayBackend | None = None) -> ArrayBackend:
+    """Backend for a driver operating on graph ``g``.
+
+    An explicit ``override`` (the drivers' ``backend=`` kwarg) wins;
+    otherwise the backend the graph was built with; otherwise the
+    environment/default resolution.  Keeping graph arrays and driver
+    arrays on the same backend is the caller's contract — for the
+    in-repo numpy-family backends any mix is safe.
+    """
+    if override is not None:
+        return get_backend(override)
+    bound = getattr(g, "backend", None)
+    if bound is not None:
+        return get_backend(bound)
+    return get_backend(None)
+
+
+register_backend(NumpyBackend())
+register_backend(NumpyStrictBackend())

@@ -1,0 +1,150 @@
+"""The ``ArrayBackend`` protocol — the engine's portable array surface.
+
+The lock-step drivers are branch-free array programs per round: gather
+neighbour slots, draw a block of uniforms, scatter settlement counts,
+compress the survivors.  Everything else they do is plain elementwise
+array arithmetic that any array-API namespace provides.  This module
+names that split explicitly:
+
+* ``xp`` — the array *namespace* (``numpy`` for the default backend).
+  Drivers alias it once per call and use it for all portable ops
+  (``xp.minimum``, ``xp.where``, ``xp.empty`` ...).
+* a handful of **named primitives** that are not portable across array
+  libraries with identical semantics, or that touch the host boundary:
+  ``take`` (gather), ``bincount`` (the settlement scatter),
+  ``searchsorted``, ``cumsum``, ``compress`` (masked compress),
+  ``flatnonzero``, and ``fill_uniform`` — the RNG-block bridge that
+  feeds :class:`repro.utils.rng.UniformStreams`.
+
+Capability flags tell callers which equivalence contract a backend can
+honour:
+
+* ``exact_bitstream=True`` — the backend consumes NumPy ``Generator``
+  double streams exactly (one double per draw, same order), so every
+  driver output is **bit-identical** to the serial oracle and the
+  differential harness (``tests/test_differential_drivers.py``) applies
+  unchanged.
+* ``exact_bitstream=False`` — the backend draws randomness its own way
+  (device RNG, batched transfers).  Such backends are gated on the
+  *statistical* contract instead: the anytime-valid KS test in
+  :mod:`repro.backends.contract` against tau samples from the serial
+  oracle.
+
+Backends are identified by ``name`` and pickle by name (``__reduce__``),
+so a backend selection ships through the fan-out descriptor to worker
+processes as a plain string lookup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend:
+    """Base class / protocol for array backends.
+
+    Subclasses must set :attr:`name`, :attr:`exact_bitstream`, and
+    implement :attr:`xp` plus the named primitives.  The default
+    method bodies raise ``NotImplementedError`` so a partial backend
+    fails loudly at the first unported call site.
+    """
+
+    #: registry key; also the value accepted by ``REPRO_BACKEND``.
+    name: str = "abstract"
+
+    #: True when the backend replays NumPy Generator double streams
+    #: exactly — the bit-identity contract applies.  False relaxes the
+    #: gate to the statistical contract (``repro.backends.contract``).
+    exact_bitstream: bool = False
+
+    @property
+    def xp(self):
+        """The array namespace (``numpy``-compatible module)."""
+        raise NotImplementedError
+
+    # -- construction / host boundary ----------------------------------
+
+    def asarray(self, a, dtype=None):
+        """Coerce ``a`` to a backend array (no copy when possible)."""
+        raise NotImplementedError
+
+    def ascontiguousarray(self, a, dtype=None):
+        """Coerce to a C-contiguous backend array."""
+        raise NotImplementedError
+
+    def empty(self, shape, dtype=np.float64):
+        """Allocate an uninitialised backend array."""
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype=np.float64):
+        """Allocate a zero-filled backend array."""
+        raise NotImplementedError
+
+    def full(self, shape, fill_value, dtype=None):
+        """Allocate a constant-filled backend array."""
+        raise NotImplementedError
+
+    def arange(self, *args, dtype=None):
+        """``arange`` in the backend namespace."""
+        raise NotImplementedError
+
+    def asnumpy(self, a):
+        """Return ``a`` as a host ``numpy.ndarray`` (device → host).
+
+        The scalar tail finisher and the result containers are host-side
+        by design; drivers cross this boundary exactly once per handoff.
+        """
+        raise NotImplementedError
+
+    # -- the non-portable primitives -----------------------------------
+
+    def take(self, a, indices, out=None):
+        """Gather ``a[indices]`` (the CSR neighbour-slot gather)."""
+        raise NotImplementedError
+
+    def bincount(self, x, minlength=0):
+        """Counting scatter — the settlement histogram per round."""
+        raise NotImplementedError
+
+    def searchsorted(self, a, v, side="left"):
+        """Sorted lookup (cohort/chunk boundary resolution)."""
+        raise NotImplementedError
+
+    def cumsum(self, a, dtype=None):
+        """Prefix sum (indptr construction, schedule offsets)."""
+        raise NotImplementedError
+
+    def compress(self, mask, a):
+        """Masked compress ``a[mask]`` — the per-round survivor filter."""
+        raise NotImplementedError
+
+    def flatnonzero(self, mask):
+        """Indices of the True entries of ``mask`` (vacancy scans)."""
+        raise NotImplementedError
+
+    # -- the RNG-block bridge ------------------------------------------
+
+    def fill_uniform(self, gen, out):
+        """Fill ``out`` (float64) with uniforms from ``gen`` in place.
+
+        ``gen`` is a ``numpy.random.Generator`` owning one repetition's
+        SeedSequence child.  Exact-bitstream backends must consume the
+        generator's double stream verbatim (``gen.random(out=...)``
+        semantics); non-bitstream backends may substitute device RNG,
+        accepting the statistical contract instead.
+        """
+        raise NotImplementedError
+
+    # -- identity / transport ------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} exact_bitstream={self.exact_bitstream}>"
+
+    def __reduce__(self):
+        # Backends pickle by name so fan-out descriptors ship a string,
+        # not module state; the worker re-resolves from its registry.
+        from repro.backends import get_backend
+
+        return (get_backend, (self.name,))

@@ -1,0 +1,176 @@
+"""The default NumPy backend (and its strict assertion variant).
+
+``NumpyBackend`` delegates every primitive straight to ``numpy``, so the
+refactored call sites compile to exactly the calls the engine made
+before the seam existed — the default path is bit-identical by
+construction and the differential harness pins it.
+
+``NumpyStrictBackend`` routes the *same* numpy calls through the
+protocol with dtype/host assertions on every primitive.  It exists to
+prove the seam is real: a call site that bypasses the protocol, or
+hands a primitive an unexpected dtype, fails the ``numpy_strict`` CI
+leg even though the default backend would have coerced silently.  Its
+output is pinned byte-identical to the default backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend
+
+__all__ = ["NumpyBackend", "NumpyStrictBackend"]
+
+# dtypes the engine legitimately materialises: positions/slots/indptr
+# (int64 / intp), uniforms and times (float64), masks (bool), narrowed
+# trajectory columns (unsigned + small ints via _narrow_dtype).
+_ALLOWED_DTYPES = frozenset(
+    np.dtype(t)
+    for t in (
+        np.bool_,
+        np.int8,
+        np.int16,
+        np.int32,
+        np.int64,
+        np.uint8,
+        np.uint16,
+        np.uint32,
+        np.uint64,
+        np.intp,
+        np.float64,
+    )
+)
+
+
+class NumpyBackend(ArrayBackend):
+    """Default backend: the engine's historical raw-numpy behaviour."""
+
+    name = "numpy"
+    exact_bitstream = True
+
+    @property
+    def xp(self):
+        return np
+
+    # -- construction / host boundary ----------------------------------
+
+    def asarray(self, a, dtype=None):
+        return np.asarray(a, dtype=dtype)
+
+    def ascontiguousarray(self, a, dtype=None):
+        return np.ascontiguousarray(a, dtype=dtype)
+
+    def empty(self, shape, dtype=np.float64):
+        return np.empty(shape, dtype=dtype)
+
+    def zeros(self, shape, dtype=np.float64):
+        return np.zeros(shape, dtype=dtype)
+
+    def full(self, shape, fill_value, dtype=None):
+        return np.full(shape, fill_value, dtype=dtype)
+
+    def arange(self, *args, dtype=None):
+        return np.arange(*args, dtype=dtype)
+
+    def asnumpy(self, a):
+        return np.asarray(a)
+
+    # -- the non-portable primitives -----------------------------------
+
+    def take(self, a, indices, out=None):
+        if out is None:
+            return a[indices]
+        return np.take(a, indices, out=out)
+
+    def bincount(self, x, minlength=0):
+        return np.bincount(x, minlength=minlength)
+
+    def searchsorted(self, a, v, side="left"):
+        return np.searchsorted(a, v, side=side)
+
+    def cumsum(self, a, dtype=None):
+        return np.cumsum(a, dtype=dtype)
+
+    def compress(self, mask, a):
+        return a[mask]
+
+    def flatnonzero(self, mask):
+        return np.flatnonzero(mask)
+
+    # -- the RNG-block bridge ------------------------------------------
+
+    def fill_uniform(self, gen, out):
+        gen.random(out=out)
+
+
+class NumpyStrictBackend(NumpyBackend):
+    """Numpy with dtype/host assertions on every primitive call.
+
+    Byte-identical to :class:`NumpyBackend` (same numpy calls in the
+    same order) — the assertions are pure observers.  Selected via
+    ``REPRO_BACKEND=numpy_strict`` in the CI matrix so a hot-path call
+    site that drifts off the protocol can never rot silently.
+    """
+
+    name = "numpy_strict"
+    exact_bitstream = True
+
+    @staticmethod
+    def _check(a, label):
+        if not isinstance(a, np.ndarray):
+            raise TypeError(
+                f"numpy_strict: {label} must be a host numpy.ndarray, "
+                f"got {type(a).__name__}"
+            )
+        if a.dtype not in _ALLOWED_DTYPES:
+            raise TypeError(
+                f"numpy_strict: {label} has off-contract dtype {a.dtype} "
+                f"(allowed: bool, signed/unsigned ints, float64)"
+            )
+        return a
+
+    def take(self, a, indices, out=None):
+        self._check(a, "take() source")
+        self._check(indices, "take() indices")
+        if out is not None:
+            self._check(out, "take() out")
+        return super().take(a, indices, out=out)
+
+    def bincount(self, x, minlength=0):
+        self._check(x, "bincount() input")
+        return super().bincount(x, minlength=minlength)
+
+    def searchsorted(self, a, v, side="left"):
+        self._check(a, "searchsorted() haystack")
+        return super().searchsorted(a, v, side=side)
+
+    def cumsum(self, a, dtype=None):
+        self._check(a, "cumsum() input")
+        return super().cumsum(a, dtype=dtype)
+
+    def compress(self, mask, a):
+        self._check(mask, "compress() mask")
+        self._check(a, "compress() source")
+        if mask.dtype != np.bool_:
+            raise TypeError(
+                f"numpy_strict: compress() mask must be bool, got {mask.dtype}"
+            )
+        return super().compress(mask, a)
+
+    def flatnonzero(self, mask):
+        self._check(mask, "flatnonzero() input")
+        return super().flatnonzero(mask)
+
+    def fill_uniform(self, gen, out):
+        self._check(out, "fill_uniform() out")
+        if out.dtype != np.float64:
+            raise TypeError(
+                f"numpy_strict: fill_uniform() buffer must be float64, "
+                f"got {out.dtype}"
+            )
+        if not isinstance(gen, np.random.Generator):
+            raise TypeError(
+                "numpy_strict: fill_uniform() needs a numpy.random.Generator, "
+                f"got {type(gen).__name__}"
+            )
+        super().fill_uniform(gen, out)

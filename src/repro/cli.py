@@ -116,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
         "run in budget-sized cohorts (per worker when --jobs > 1) "
         "without changing any sample",
     )
+    run.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="array backend for the lock-step drivers (registered name, "
+        "e.g. numpy_strict); unset, the REPRO_BACKEND environment "
+        "variable then the numpy default apply",
+    )
 
     sw = sub.add_parser("sweep", help="sweep sizes and fit scaling laws")
     sw.add_argument("family")
@@ -218,6 +226,14 @@ def _cmd_run(args, out) -> int:
 
         try:
             kwargs["state_budget"] = parse_state_budget(args.state_budget)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.backend is not None:
+        from repro.backends import get_backend
+
+        try:
+            kwargs["backend"] = get_backend(args.backend)
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2

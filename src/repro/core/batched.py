@@ -84,6 +84,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import backend_of
 from repro.core.budget import cohort_slices, plan_state
 from repro.core.origins import resolve_origins
 from repro.core.results import DispersionResult
@@ -130,14 +131,20 @@ _BLOCK: int | None = None
 _TAIL_THRESHOLD = 16
 
 
-def _parallel_streams(gens, m: int, budget_doubles=None) -> UniformStreams:
+def _parallel_streams(
+    gens, m: int, budget_doubles=None, backend=None
+) -> UniformStreams:
     """Streams for the parallel driver: one round consumes <= 2·m + 2."""
     return UniformStreams(
-        gens, per_rep_min=2 * m + 2, block=_BLOCK, budget_doubles=budget_doubles
+        gens,
+        per_rep_min=2 * m + 2,
+        block=_BLOCK,
+        budget_doubles=budget_doubles,
+        backend=backend,
     )
 
 
-def _sequential_streams(gens, budget_doubles=None) -> UniformStreams:
+def _sequential_streams(gens, budget_doubles=None, backend=None) -> UniformStreams:
     """Streams for the sequential driver, aligned to the serial fetch grid."""
     return UniformStreams(
         gens,
@@ -145,6 +152,7 @@ def _sequential_streams(gens, budget_doubles=None) -> UniformStreams:
         align=_SERIAL_SEQ_BLOCK,
         block=_BLOCK,
         budget_doubles=budget_doubles,
+        backend=backend,
     )
 
 
@@ -402,6 +410,7 @@ def batched_parallel_idla(
     max_rounds: float | None = None,
     tail_threshold: int | None = None,
     state_budget=None,
+    backend=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Parallel-IDLA realisations in lock-step.
 
@@ -435,6 +444,13 @@ def batched_parallel_idla(
         results (each repetition still consumes its own stream in serial
         order).  ``record=True`` trajectory storage grows with total
         steps and is deliberately outside the cap.
+    backend:
+        :class:`repro.backends.ArrayBackend` (or registered name) the
+        round bodies run on.  Defaults to the graph's backend, then the
+        ``REPRO_BACKEND`` environment selection.  Exact-bitstream
+        backends (``numpy``, ``numpy_strict``) leave every sample
+        bit-identical; non-bitstream backends are gated on the
+        statistical contract instead (``repro.backends.contract``).
 
     Returns
     -------
@@ -456,6 +472,8 @@ def batched_parallel_idla(
     if tie_break not in ("index", "random"):
         raise ValueError(f"tie_break must be 'index' or 'random', got {tie_break!r}")
     tail_total = _resolve_tail_threshold(tail_threshold)
+    bk = backend_of(g, backend)
+    xp = bk.xp
     gens = _resolve_generators(seeds, seed, reps)
     R = len(gens)
     if R == 0:
@@ -482,6 +500,7 @@ def batched_parallel_idla(
                     max_rounds=max_rounds,
                     tail_threshold=tail_threshold,
                     state_budget=state_budget,
+                    backend=bk,
                 )
             )
         return out
@@ -493,9 +512,9 @@ def batched_parallel_idla(
     # ---- per-repetition initial draws, in the serial driver's order.
     # With the default "index" tie-break the priority of particle p is p
     # itself, so `pid` doubles as the priority vector and prio2d stays None.
-    arange_m = np.arange(m, dtype=np.int64)
-    starts2d = np.empty((R, m), dtype=np.int64)
-    prio2d = None if tie_break == "index" else np.empty((R, m), dtype=np.int64)
+    arange_m = xp.arange(m, dtype=np.int64)
+    starts2d = xp.empty((R, m), dtype=np.int64)
+    prio2d = None if tie_break == "index" else xp.empty((R, m), dtype=np.int64)
     for r, gen in enumerate(gens):
         starts2d[r] = resolve_origins(g, origin, m, gen)
         if prio2d is not None:
@@ -503,12 +522,12 @@ def batched_parallel_idla(
             prio2d[r, 0] = 0
             prio2d[r, 1:] = 1 + gen.permutation(m - 1)
 
-    store = TrajectoryStore(starts2d, n) if record else None
-    occ = np.zeros(R * n, dtype=bool)
-    free = np.full(R, n, dtype=np.int64)
-    steps2d = np.zeros((R, m), dtype=np.int64)
-    settled2d = np.full((R, m), -1, dtype=np.int64)
-    round2d = np.full((R, m), -1, dtype=np.int64)
+    store = TrajectoryStore(starts2d, n, backend=bk) if record else None
+    occ = xp.zeros(R * n, dtype=bool)
+    free = xp.full(R, n, dtype=np.int64)
+    steps2d = xp.zeros((R, m), dtype=np.int64)
+    settled2d = xp.full((R, m), -1, dtype=np.int64)
+    round2d = xp.full((R, m), -1, dtype=np.int64)
     steps2d_flat = steps2d.reshape(-1)
     settled2d_flat = settled2d.reshape(-1)
     round2d_flat = round2d.reshape(-1)
@@ -517,7 +536,7 @@ def batched_parallel_idla(
     for r in range(R):
         occ_r = occ[r * n : (r + 1) * n]
         prio_r = arange_m if prio2d is None else prio2d[r]
-        winners = settle_vacant_starts(occ_r, starts2d[r], prio_r)
+        winners = settle_vacant_starts(occ_r, starts2d[r], prio_r, backend=bk)
         if winners.size:
             occ_r[starts2d[r, winners]] = True
             free[r] -= winners.size
@@ -526,19 +545,19 @@ def batched_parallel_idla(
 
     # ---- flat lock-step state: all repetitions' unsettled particles,
     # grouped by repetition, ascending particle index within each group
-    rep_ids, pid = np.nonzero(settled2d < 0)
-    if np.any(free[rep_ids] == 0):
+    rep_ids, pid = xp.nonzero(settled2d < 0)
+    if xp.any(free[rep_ids] == 0):
         # a repetition already complete at round 0 (m > n with covering
         # starts): its surplus particles performed 0 steps — drop them
         alive = free[rep_ids] > 0
         rep_ids, pid = rep_ids[alive], pid[alive]
     pos = starts2d[rep_ids, pid].copy()
 
-    streams = _parallel_streams(gens, m, plan.stream_budget_doubles)
+    streams = _parallel_streams(gens, m, plan.stream_budget_doubles, backend=bk)
     block = streams.block
     streams.fill(range(R))
     buf_flat = streams.flat
-    bptr = np.zeros(R, dtype=np.int64)
+    bptr = xp.zeros(R, dtype=np.int64)
 
     # per-round flat metadata, recomputed whenever particles leave
     k = counts = counts_exp = rep_off = prio_flat = bidx = None
@@ -548,19 +567,19 @@ def batched_parallel_idla(
     def buffered_rounds() -> int:
         """Rounds the repetition buffers can serve before the next refill."""
         live = counts > 0
-        if not np.any(live):
+        if not xp.any(live):
             return 1
-        return int(np.min((block - bptr[live]) // counts[live]))
+        return int(xp.min((block - bptr[live]) // counts[live]))
 
     def rebuild():
         nonlocal k, counts, counts_exp, rep_off, prio_flat, bidx
         nonlocal k_exp, wide_exp, rounds_buffered
-        k = np.bincount(rep_ids, minlength=R)
+        k = bk.bincount(rep_ids, minlength=R)
         if lazy:
             # the serial driver's wide phase (active > threshold) consumes
             # 2 uniforms per particle per round, the scalar tail only 1
             wide = k > scalar_threshold
-            counts = np.where(wide, 2 * k, k)
+            counts = xp.where(wide, 2 * k, k)
             k_exp = k[rep_ids]
             wide_exp = wide[rep_ids]
         else:
@@ -568,8 +587,8 @@ def batched_parallel_idla(
         counts_exp = counts[rep_ids]
         rep_off = rep_ids * n
         prio_flat = pid if prio2d is None else prio2d[rep_ids, pid]
-        group_start = (np.cumsum(k) - k)[rep_ids]
-        within = np.arange(rep_ids.size, dtype=np.int64) - group_start
+        group_start = (bk.cumsum(k) - k)[rep_ids]
+        within = xp.arange(rep_ids.size, dtype=np.int64) - group_start
         bidx = rep_ids * block + bptr[rep_ids] + within
         rounds_buffered = buffered_rounds()
 
@@ -591,7 +610,7 @@ def batched_parallel_idla(
         prio_flat = pid if prio2d is None else prio_flat[keep]
         if lazy:
             k_exp, wide_exp = k_exp[keep], wide_exp[keep]
-        group_start = np.cumsum(k) - k
+        group_start = bk.cumsum(k) - k
         for r in affected:
             kr = int(k[r])
             if lazy:
@@ -599,7 +618,7 @@ def batched_parallel_idla(
                 counts[r] = 2 * kr if wide_r else kr
             sl = slice(int(group_start[r]), int(group_start[r]) + kr)
             counts_exp[sl] = counts[r]
-            bidx[sl] = r * block + bptr[r] + np.arange(kr, dtype=np.int64)
+            bidx[sl] = r * block + bptr[r] + xp.arange(kr, dtype=np.int64)
             if lazy:
                 k_exp[sl] = kr
                 wide_exp[sl] = wide_r
@@ -607,7 +626,7 @@ def batched_parallel_idla(
 
     def refill():
         nonlocal rounds_buffered
-        for r in np.flatnonzero(bptr + counts > block):
+        for r in bk.flatnonzero(bptr + counts > block):
             bidx[rep_ids == r] -= bptr[r]
             streams.refill_tail(int(r), int(bptr[r]))
             bptr[r] = 0
@@ -627,7 +646,7 @@ def batched_parallel_idla(
         if tail_total <= 0 or rep_ids.size == 0:
             return False
         return (
-            int(np.count_nonzero(k)) <= tail_total
+            int(xp.count_nonzero(k)) <= tail_total
             and int(k.max()) <= scalar_threshold
         )
 
@@ -656,7 +675,7 @@ def batched_parallel_idla(
             # surviving repetition its stream mid-flight and finish it
             # with the serial micro-loop.
             adj = g.adjacency_lists()
-            for r in np.unique(rep_ids).tolist():
+            for r in xp.unique(rep_ids).tolist():
                 mask = rep_ids == r
                 prio_row = prio2d[r] if prio2d is not None else None
                 _finish_parallel_rep(
@@ -700,37 +719,37 @@ def batched_parallel_idla(
                 if lazy:
                     we = wide_exp[sl]
                     u = buf_flat[bidx[sl]]
-                    u2 = buf_flat[bidx[sl] + np.where(we, k_exp[sl], 0)]
+                    u2 = buf_flat[bidx[sl] + xp.where(we, k_exp[sl], 0)]
                     move = u >= 0.5
-                    ustep = np.where(we, u2, 2.0 * (u - 0.5))
-                    new = neighbor_step(kernel, degrees_g, pos[sl], ustep)
-                    pos[sl] = np.where(move, new, pos[sl])
+                    ustep = xp.where(we, u2, 2.0 * (u - 0.5))
+                    new = neighbor_step(kernel, degrees_g, pos[sl], ustep, xp=xp)
+                    pos[sl] = xp.where(move, new, pos[sl])
                 elif regular:
                     u = buf_flat[bidx[sl]]
                     offsets = (u * c_float).astype(np.int64)
-                    np.minimum(offsets, c_int - 1, out=offsets)
+                    xp.minimum(offsets, c_int - 1, out=offsets)
                     pos[sl] = kernel(pos[sl], offsets)
                 else:
                     u = buf_flat[bidx[sl]]
                     deg = degf[pos[sl]]
                     offsets = (u * deg).astype(np.int64)
-                    np.minimum(offsets, degm1[pos[sl]], out=offsets)
+                    xp.minimum(offsets, degm1[pos[sl]], out=offsets)
                     pos[sl] = kernel(pos[sl], offsets)
         elif lazy:
             u = buf_flat[bidx]
-            u2 = buf_flat[bidx + np.where(wide_exp, k_exp, 0)]
+            u2 = buf_flat[bidx + xp.where(wide_exp, k_exp, 0)]
             move = u >= 0.5
             # wide phase: independent step uniform; scalar tail: upper half
-            ustep = np.where(wide_exp, u2, 2.0 * (u - 0.5))
-            new = neighbor_step(kernel, degrees_g, pos, ustep)
-            pos = np.where(move, new, pos)
+            ustep = xp.where(wide_exp, u2, 2.0 * (u - 0.5))
+            new = neighbor_step(kernel, degrees_g, pos, ustep, xp=xp)
+            pos = xp.where(move, new, pos)
         elif regular:
             # constant degree: offsets come from scalar arithmetic and the
             # slot kernel resolves them (one CSR hop, or pure arithmetic
             # on implicit families)
             u = buf_flat[bidx]
             offsets = (u * c_float).astype(np.int64)
-            np.minimum(offsets, c_int - 1, out=offsets)
+            xp.minimum(offsets, c_int - 1, out=offsets)
             pos = kernel(pos, offsets)
         else:
             # neighbor_step inlined with precomputed float degrees /
@@ -739,7 +758,7 @@ def batched_parallel_idla(
             u = buf_flat[bidx]
             deg = degf[pos]
             offsets = (u * deg).astype(np.int64)
-            np.minimum(offsets, degm1[pos], out=offsets)
+            xp.minimum(offsets, degm1[pos], out=offsets)
             pos = kernel(pos, offsets)
         if store is not None:
             # one vertex per active particle per round, holds included —
@@ -747,7 +766,7 @@ def batched_parallel_idla(
             store.append(rep_ids, pid, pos)
         bptr += counts
         bidx += counts_exp
-        cand = chunked_vacancies(occ, rep_off, pos, step_chunk)
+        cand = chunked_vacancies(occ, rep_off, pos, step_chunk, backend=bk)
         if cand.size == 0:
             continue
         if not use_default_rule:
@@ -759,27 +778,29 @@ def batched_parallel_idla(
             cand = cand[allowed]
             if cand.size == 0:
                 continue
-        winners = cand[select_settlers(rep_off[cand] + pos[cand], prio_flat[cand])]
+        winners = cand[
+            select_settlers(rep_off[cand] + pos[cand], prio_flat[cand], xp=xp)
+        ]
         w_rep, w_pid, w_vert = rep_ids[winners], pid[winners], pos[winners]
         occ[rep_off[winners] + w_vert] = True
         w_cell = w_rep * m + w_pid
         steps2d_flat[w_cell] = t
         settled2d_flat[w_cell] = w_vert
         round2d_flat[w_cell] = t
-        w_counts = np.bincount(w_rep, minlength=R)
+        w_counts = bk.bincount(w_rep, minlength=R)
         free -= w_counts
         k -= w_counts  # aliases `counts` in the non-lazy case
-        keep = np.ones(rep_ids.size, dtype=bool)
+        keep = xp.ones(rep_ids.size, dtype=bool)
         keep[winners] = False
-        if m > n and np.any(free[w_rep] == 0):
+        if m > n and xp.any(free[w_rep] == 0):
             # repetition complete: surplus particles (m > n) walked until
             # the last vertex filled — they stop now with t steps each
             stopped = keep & (free[rep_ids] == 0)
-            if np.any(stopped):
+            if xp.any(stopped):
                 steps2d_flat[rep_ids[stopped] * m + pid[stopped]] = t
                 keep[stopped] = False
-                k -= np.bincount(rep_ids[stopped], minlength=R)
-        compact(keep, np.unique(w_rep))
+                k -= bk.bincount(rep_ids[stopped], minlength=R)
+        compact(keep, xp.unique(w_rep))
         handoff = tail_ready()
 
     # ---- per-repetition result assembly
@@ -791,9 +812,9 @@ def batched_parallel_idla(
         traj_all = store.finalize()
     results = []
     for r in range(R):
-        settled = np.flatnonzero(settled2d[r] >= 0)
+        settled = bk.flatnonzero(settled2d[r] >= 0)
         prio_vals = settled if prio2d is None else prio2d[r, settled]
-        order = np.lexsort((prio_vals, round2d[r, settled]))
+        order = xp.lexsort((prio_vals, round2d[r, settled]))
         steps_r = steps2d[r].copy()
         dispersion = int(steps_r[settled].max()) if settled.size else 0
         results.append(
@@ -903,6 +924,7 @@ def batched_sequential_idla(
     max_total_steps: float | None = None,
     tail_threshold: int | None = None,
     state_budget=None,
+    backend=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Sequential-IDLA realisations in lock-step.
 
@@ -937,6 +959,8 @@ def batched_sequential_idla(
             f"sequential IDLA needs 1 <= num_particles <= n, got {m} (n={n})"
         )
     tail_total = _resolve_tail_threshold(tail_threshold)
+    bk = backend_of(g, backend)
+    xp = bk.xp
     gens = _resolve_generators(seeds, seed, reps)
     R = len(gens)
     if R == 0:
@@ -959,6 +983,7 @@ def batched_sequential_idla(
                     max_total_steps=max_total_steps,
                     tail_threshold=tail_threshold,
                     state_budget=state_budget,
+                    backend=bk,
                 )
             )
         return out
@@ -966,15 +991,15 @@ def batched_sequential_idla(
     budget = float("inf") if max_total_steps is None else float(max_total_steps)
     process = "sequential-lazy" if lazy else "sequential"
 
-    starts2d = np.empty((R, m), dtype=np.int64)
+    starts2d = xp.empty((R, m), dtype=np.int64)
     for r, gen in enumerate(gens):
         starts2d[r] = resolve_origins(g, origin, m, gen)
 
-    store = TrajectoryStore(starts2d, n) if record else None
-    occ = np.zeros(R * n, dtype=bool)
-    steps2d = np.zeros((R, m), dtype=np.int64)
-    settled2d = np.full((R, m), -1, dtype=np.int64)
-    current = np.zeros(R, dtype=np.int64)  # walking particle per repetition
+    store = TrajectoryStore(starts2d, n, backend=bk) if record else None
+    occ = xp.zeros(R * n, dtype=bool)
+    steps2d = xp.zeros((R, m), dtype=np.int64)
+    settled2d = xp.full((R, m), -1, dtype=np.int64)
+    current = xp.zeros(R, dtype=np.int64)  # walking particle per repetition
 
     # release chain from particle 0: instantly settle vacant starts
     live_list, pos_list = [], []
@@ -986,10 +1011,10 @@ def batched_sequential_idla(
             current[r] = walker
             live_list.append(r)
             pos_list.append(starts2d[r, walker])
-    live = np.asarray(live_list, dtype=np.int64)
-    pos = np.asarray(pos_list, dtype=np.int64)
+    live = bk.asarray(live_list, dtype=np.int64)
+    pos = bk.asarray(pos_list, dtype=np.int64)
 
-    streams = _sequential_streams(gens, plan.stream_budget_doubles)
+    streams = _sequential_streams(gens, plan.stream_budget_doubles, backend=bk)
     block = streams.block
     streams.fill(live_list)
     buf_flat = streams.flat
@@ -998,7 +1023,7 @@ def batched_sequential_idla(
     cursor = 0
     base = live * block
     vert_off = live * n
-    pstep = np.zeros(live.size, dtype=np.int64)  # current particle's step count
+    pstep = xp.zeros(live.size, dtype=np.int64)  # current particle's step count
     adj = None  # built lazily when the finisher engages
     kernel = neighbor_kernel(g)
     degrees_g = g.degrees
@@ -1048,11 +1073,11 @@ def batched_sequential_idla(
             )
         if lazy:
             move = u >= 0.5
-            new = neighbor_step(kernel, degrees_g, pos, 2.0 * (u - 0.5))
-            pos = np.where(move, new, pos)
+            new = neighbor_step(kernel, degrees_g, pos, 2.0 * (u - 0.5), xp=xp)
+            pos = xp.where(move, new, pos)
             settling = move & ~occ[vert_off + pos]
         else:
-            pos = neighbor_step(kernel, degrees_g, pos, u)
+            pos = neighbor_step(kernel, degrees_g, pos, u, xp=xp)
             settling = ~occ[vert_off + pos]
         if store is not None:
             # each live repetition's walker appends its post-tick position
@@ -1060,7 +1085,7 @@ def batched_sequential_idla(
             store.append(live, current[live], pos)
         if not settling.any():
             continue
-        idx = np.flatnonzero(settling)
+        idx = bk.flatnonzero(settling)
         if not use_default_rule:
             idx = idx[
                 [bool(rule(int(pstep[i]), int(pos[i]), True)) for i in idx]
@@ -1086,7 +1111,7 @@ def batched_sequential_idla(
                 pos[i] = starts2d[r, walker]
                 pstep[i] = 0
         if finished:
-            keep = np.ones(live.size, dtype=bool)
+            keep = xp.ones(live.size, dtype=bool)
             keep[finished] = False
             live, pos, pstep = live[keep], pos[keep], pstep[keep]
             base = live * block
@@ -1111,7 +1136,7 @@ def batched_sequential_idla(
                 total_steps=int(steps_r.sum()),
                 steps=steps_r,
                 settled_at=settled2d[r].copy(),
-                settle_order=np.arange(m, dtype=np.int64),
+                settle_order=xp.arange(m, dtype=np.int64),
                 trajectories=None if traj_all is None else traj_all[r],
                 num_particles=None if m == n else m,
             )

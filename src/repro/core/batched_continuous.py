@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import backend_of
 from repro.core.batched import _resolve_generators
 from repro.core.budget import cohort_slices, plan_state
 from repro.core.origins import resolve_origins
@@ -82,10 +83,14 @@ __all__ = [
 _BLOCK: int | None = None
 
 
-def _lane_streams(gens, budget_doubles=None) -> UniformStreams:
+def _lane_streams(gens, budget_doubles=None, backend=None) -> UniformStreams:
     """Streams for the tick-scheduled drivers: <= 3 doubles per tick."""
     return UniformStreams(
-        gens, per_rep_min=3, block=_BLOCK, budget_doubles=budget_doubles
+        gens,
+        per_rep_min=3,
+        block=_BLOCK,
+        budget_doubles=budget_doubles,
+        backend=backend,
     )
 
 
@@ -130,7 +135,7 @@ def _init_lanes(R, n, m, starts2d, occ, settledflat, unsflat, orders):
     return lanes_list, k_list
 
 
-def _make_stepper(g: Graph):
+def _make_stepper(g: Graph, xp=np):
     """One-walk-step kernel ``(positions, u) -> new positions``.
 
     The inlined :func:`repro.walks.engine.neighbor_step` with precomputed
@@ -147,7 +152,7 @@ def _make_stepper(g: Graph):
 
         def step(pos, u):
             off = (u * c_float).astype(np.int64)
-            np.minimum(off, c_int - 1, out=off)
+            xp.minimum(off, c_int - 1, out=off)
             return kernel(pos, off)
 
         return step
@@ -157,7 +162,7 @@ def _make_stepper(g: Graph):
 
     def step(pos, u):
         off = (u * degf[pos]).astype(np.int64)
-        np.minimum(off, degm1[pos], out=off)
+        xp.minimum(off, degm1[pos], out=off)
         return kernel(pos, off)
 
     return step
@@ -177,6 +182,7 @@ def batched_ctu_idla(
     record: bool | str = False,
     num_particles: int | None = None,
     state_budget=None,
+    backend=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent CTU-IDLA realisations in lock-step.
 
@@ -192,6 +198,10 @@ def batched_ctu_idla(
         keeps full trajectories via the chunked
         :class:`~repro.core.trajectory.TrajectoryStore`, list-identical
         to the serial driver's.
+    backend:
+        Array-backend name/instance (see :mod:`repro.backends`);
+        resolution order is this kwarg, then the graph's bound backend,
+        then ``REPRO_BACKEND``, then numpy.
 
     Returns
     -------
@@ -219,6 +229,8 @@ def batched_ctu_idla(
     R = len(gens)
     if R == 0:
         return []
+    bk = backend_of(g, backend)
+    xp = bk.xp
     plan = plan_state(state_budget, "ctu", n, m)
     if plan.cohort_reps < R:
         # budgeted cohorts (see batched_parallel_idla): repetition r keeps
@@ -234,43 +246,44 @@ def batched_ctu_idla(
                     record=record,
                     num_particles=num_particles,
                     state_budget=state_budget,
+                    backend=bk,
                 )
             )
         return out
 
-    starts2d = np.empty((R, m), dtype=np.int64)
+    starts2d = xp.empty((R, m), dtype=np.int64)
     for r, gen in enumerate(gens):
         starts2d[r] = resolve_origins(g, origin, m, gen)
 
-    store = TrajectoryStore(starts2d, n) if record else None
-    occ = np.zeros(R * n, dtype=bool)
+    store = TrajectoryStore(starts2d, n, backend=bk) if record else None
+    occ = xp.zeros(R * n, dtype=bool)
     posflat = starts2d.reshape(-1).copy()
-    stepsflat = np.zeros(R * m, dtype=np.int64)
-    settledflat = np.full(R * m, -1, dtype=np.int64)
-    settle_clock = np.zeros(R * m, dtype=np.float64)
+    stepsflat = xp.zeros(R * m, dtype=np.int64)
+    settledflat = xp.full(R * m, -1, dtype=np.int64)
+    settle_clock = xp.zeros(R * m, dtype=np.float64)
     orders: list[list[int]] = [[] for _ in range(R)]
-    final_clock = np.zeros(R, dtype=np.float64)
-    unsflat = np.empty(R * m, dtype=np.int64)
+    final_clock = xp.zeros(R, dtype=np.float64)
+    unsflat = xp.empty(R * m, dtype=np.int64)
 
     lanes_list, k_list = _init_lanes(
         R, n, m, starts2d, occ, settledflat, unsflat, orders
     )
 
     # ---- per-lane compact state (one lane per live repetition)
-    lanes = np.asarray(lanes_list, dtype=np.int64)
-    kL = np.asarray(k_list, dtype=np.int64)
+    lanes = bk.asarray(lanes_list, dtype=np.int64)
+    kL = bk.asarray(k_list, dtype=np.int64)
     kfL = kL.astype(np.float64)
     km1L = kL - 1
     denomL = kfL * rate
-    clockL = np.zeros(lanes.size, dtype=np.float64)
+    clockL = xp.zeros(lanes.size, dtype=np.float64)
     laneM = lanes * m
     laneN = lanes * n
 
-    streams = _lane_streams(gens, plan.stream_budget_doubles)
+    streams = _lane_streams(gens, plan.stream_budget_doubles, backend=bk)
     block = streams.block
     buf = streams.buf
     cursor = block  # forces the initial fill
-    step = _make_stepper(g)
+    step = _make_stepper(g, xp=xp)
 
     # Every live lane consumes exactly 3 doubles per tick and all lanes
     # join at tick 0, so one shared cursor serves every buffer row; the
@@ -284,13 +297,13 @@ def batched_ctu_idla(
         u3 = buf[lanes, cursor : cursor + 3]
         cursor += 3
         # exponential clock by inversion: clock += -log1p(-u) / (k·rate)
-        dt = np.log1p(-u3[:, 0])
-        np.negative(dt, out=dt)
+        dt = xp.log1p(-u3[:, 0])
+        xp.negative(dt, out=dt)
         dt /= denomL
         clockL += dt
         # ringer: uniform slot of the unsettled pool
         i = (u3[:, 1] * kfL).astype(np.int64)
-        np.minimum(i, km1L, out=i)
+        xp.minimum(i, km1L, out=i)
         p = unsflat[laneM + i]
         cell = laneM + p
         vnew = step(posflat[cell], u3[:, 2])
@@ -302,7 +315,7 @@ def batched_ctu_idla(
         if occv.all():
             continue
         finished = False
-        for li in np.flatnonzero(~occv).tolist():
+        for li in bk.flatnonzero(~occv).tolist():
             r = int(lanes[li])
             pp = int(p[li])
             occ[r * n + int(vnew[li])] = True
@@ -347,7 +360,7 @@ def batched_ctu_idla(
             total_steps=int(steps_r.sum()),
             steps=steps_r,
             settled_at=settledflat[row].copy(),
-            settle_order=np.asarray(orders[r], dtype=np.int64),
+            settle_order=bk.asarray(orders[r], dtype=np.int64),
             ticks=float(final_clock[r]),
             trajectories=None if traj_all is None else traj_all[r],
             num_particles=None if m == n else m,
@@ -457,6 +470,7 @@ def batched_uniform_idla(
     num_particles: int | None = None,
     max_ticks: float | None = None,
     state_budget=None,
+    backend=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Uniform-IDLA realisations in lock-step.
 
@@ -485,6 +499,8 @@ def batched_uniform_idla(
     R = len(gens)
     if R == 0:
         return []
+    bk = backend_of(g, backend)
+    xp = bk.xp
     plan = plan_state(state_budget, "uniform", n, m)
     if plan.cohort_reps < R:
         # budgeted cohorts (see batched_parallel_idla): repetition r keeps
@@ -501,24 +517,25 @@ def batched_uniform_idla(
                     num_particles=num_particles,
                     max_ticks=max_ticks,
                     state_budget=state_budget,
+                    backend=bk,
                 )
             )
         return out
     budget = float("inf") if max_ticks is None else float(max_ticks)
     check_budget = max_ticks is not None
 
-    starts2d = np.empty((R, m), dtype=np.int64)
+    starts2d = xp.empty((R, m), dtype=np.int64)
     for r, gen in enumerate(gens):
         starts2d[r] = resolve_origins(g, origin, m, gen)
 
-    store = TrajectoryStore(starts2d, n) if record else None
-    occ = np.zeros(R * n, dtype=bool)
+    store = TrajectoryStore(starts2d, n, backend=bk) if record else None
+    occ = xp.zeros(R * n, dtype=bool)
     posflat = starts2d.reshape(-1).copy()
-    stepsflat = np.zeros(R * m, dtype=np.int64)
-    settledflat = np.full(R * m, -1, dtype=np.int64)
+    stepsflat = xp.zeros(R * m, dtype=np.int64)
+    settledflat = xp.full(R * m, -1, dtype=np.int64)
     orders: list[list[int]] = [[] for _ in range(R)]
-    final_ticks = np.zeros(R, dtype=np.int64)
-    unsflat = np.empty(R * m, dtype=np.int64)
+    final_ticks = xp.zeros(R, dtype=np.int64)
+    unsflat = xp.empty(R * m, dtype=np.int64)
 
     lanes_list, k_list = _init_lanes(
         R, n, m, starts2d, occ, settledflat, unsflat, orders
@@ -533,23 +550,23 @@ def batched_uniform_idla(
             return float(np.log1p(-(k / pool_size)))
         return float("-inf")
 
-    lanes = np.asarray(lanes_list, dtype=np.int64)
-    kL = np.asarray(k_list, dtype=np.int64)
+    lanes = bk.asarray(lanes_list, dtype=np.int64)
+    kL = bk.asarray(k_list, dtype=np.int64)
     kfL = kL.astype(np.float64)
     km1L = kL - 1
-    logqL = np.asarray([logq_for(int(k)) for k in kL], dtype=np.float64)
-    ticksL = np.zeros(lanes.size, dtype=np.int64)
+    logqL = bk.asarray([logq_for(int(k)) for k in kL], dtype=np.float64)
+    ticksL = xp.zeros(lanes.size, dtype=np.int64)
     laneM = lanes * m
     laneN = lanes * n
 
-    streams = _lane_streams(gens, plan.stream_budget_doubles)
+    streams = _lane_streams(gens, plan.stream_budget_doubles, backend=bk)
     block = streams.block
     laneB = lanes * block
     streams.fill(lanes_list)
     bufflat = streams.flat
-    bptrL = np.zeros(lanes.size, dtype=np.int64)
+    bptrL = xp.zeros(lanes.size, dtype=np.int64)
     refill_countdown = block // 3
-    step = _make_stepper(g)
+    step = _make_stepper(g, xp=xp)
 
     schedules: list[np.ndarray] | None = None
     if faithful_r:
@@ -558,7 +575,7 @@ def batched_uniform_idla(
         # whether or not the tick is wasted; only non-wasted ticks draw
         # the walk-step double.  The unsettled pool is never consulted —
         # exactly the serial driver's ``faithful_r`` branch.
-        schedule_store = ScheduleStore(R)
+        schedule_store = ScheduleStore(R, backend=bk)
         pickf = float(m - 1)
         pick_cap = m - 2
         refill_countdown = block // 2
@@ -592,7 +609,7 @@ def batched_uniform_idla(
                 lanes = lanes[:0]  # run complete; skip the default-mode loop
                 break
             if refill_countdown <= 0:
-                for li in np.flatnonzero(bptrL + 2 > block).tolist():
+                for li in bk.flatnonzero(bptrL + 2 > block).tolist():
                     streams.refill_tail(int(lanes[li]), int(bptrL[li]))
                     bptrL[li] = 0
                 # conservative: assumes every lane consumes 2 per tick
@@ -600,14 +617,14 @@ def batched_uniform_idla(
             refill_countdown -= 1
             base = laneB + bptrL
             s = (bufflat[base] * pickf).astype(np.int64)
-            np.minimum(s, pick_cap, out=s)
+            xp.minimum(s, pick_cap, out=s)
             p = s + 1
             schedule_store.append(lanes, p)
             ticksL += 1
             if check_budget and (ticksL > budget).any():
                 raise RuntimeError(f"uniform IDLA exceeded max_ticks={max_ticks}")
             bptrL += 1
-            act = np.flatnonzero(settledflat[laneM + p] < 0)
+            act = bk.flatnonzero(settledflat[laneM + p] < 0)
             if act.size == 0:
                 continue  # every live lane wasted this tick
             cell = laneM[act] + p[act]
@@ -621,7 +638,7 @@ def batched_uniform_idla(
             if occv.all():
                 continue
             finished = False
-            for j in np.flatnonzero(~occv).tolist():
+            for j in bk.flatnonzero(~occv).tolist():
                 li = int(act[j])
                 r = int(lanes[li])
                 pp = int(p[li])
@@ -642,7 +659,7 @@ def batched_uniform_idla(
 
     while lanes.size:
         if refill_countdown <= 0:
-            for li in np.flatnonzero(bptrL + 3 > block).tolist():
+            for li in bk.flatnonzero(bptrL + 3 > block).tolist():
                 streams.refill_tail(int(lanes[li]), int(bptrL[li]))
                 bptrL[li] = 0
             # conservative: assumes every lane consumes 3 per tick, and
@@ -652,7 +669,7 @@ def batched_uniform_idla(
         base = laneB + bptrL
         # geometric skip draw, consumed only by lanes with k < pool_size
         skip = (kL < pool_size).astype(np.int64)
-        lv = np.log1p(-bufflat[base])
+        lv = xp.log1p(-bufflat[base])
         extra = (lv / logqL).astype(np.int64)
         extra *= skip
         ticksL += 1
@@ -664,7 +681,7 @@ def batched_uniform_idla(
         # scheduler pick + walk step
         sidx = base + skip
         i = (bufflat[sidx] * kfL).astype(np.int64)
-        np.minimum(i, km1L, out=i)
+        xp.minimum(i, km1L, out=i)
         p = unsflat[laneM + i]
         cell = laneM + p
         vnew = step(posflat[cell], bufflat[sidx + 1])
@@ -678,7 +695,7 @@ def batched_uniform_idla(
         if occv.all():
             continue
         finished = False
-        for li in np.flatnonzero(~occv).tolist():
+        for li in bk.flatnonzero(~occv).tolist():
             r = int(lanes[li])
             pp = int(p[li])
             occ[r * n + int(vnew[li])] = True
@@ -719,7 +736,7 @@ def batched_uniform_idla(
             total_steps=int(steps_r.sum()),
             steps=steps_r,
             settled_at=settledflat[row].copy(),
-            settle_order=np.asarray(orders[r], dtype=np.int64),
+            settle_order=bk.asarray(orders[r], dtype=np.int64),
             ticks=float(final_ticks[r]),
             trajectories=None if traj_all is None else traj_all[r],
             num_particles=None if m == n else m,
@@ -744,6 +761,7 @@ def batched_continuous_sequential_idla(
     rate: float = 1.0,
     record: bool | str = False,
     state_budget=None,
+    backend=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Poissonised Sequential-IDLA realisations.
 
@@ -764,7 +782,8 @@ def batched_continuous_sequential_idla(
     if not gens:
         return []
     walks = batched_sequential_idla(
-        g, origin, seeds=gens, record=record, state_budget=state_budget
+        g, origin, seeds=gens, record=record, state_budget=state_budget,
+        backend=backend,
     )
     results = []
     for r, res in enumerate(walks):

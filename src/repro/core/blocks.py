@@ -24,8 +24,6 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-import numpy as np
-
 from repro.graphs.csr import Graph
 
 __all__ = [
@@ -46,8 +44,9 @@ class Block:
         vertices, first entry is the origin).  Rows are copied; both the
         serial drivers' ``list[list[int]]`` shape and the array shapes
         (:class:`repro.core.trajectory.TrajectoryArrays`, or any iterable
-        of integer ndarrays) are accepted — array rows are converted to
-        plain-int lists, so Cut & Paste always mutates Python lists.
+        of integer arrays from any registered backend) are accepted —
+        array rows are converted to plain-int lists, so Cut & Paste
+        always mutates Python lists.
 
     Notes
     -----
@@ -60,7 +59,9 @@ class Block:
 
     def __init__(self, rows: Iterable[Sequence[int]]):
         self.rows: list[list[int]] = [
-            r.tolist() if isinstance(r, np.ndarray) else list(r) for r in rows
+            # duck-typed: ndarray and every backend's array expose tolist()
+            r.tolist() if hasattr(r, "tolist") else list(r)
+            for r in rows
         ]
         if not self.rows:
             raise ValueError("block must have at least one row")

@@ -31,7 +31,7 @@ __all__ = [
 ]
 
 
-def select_settlers(keys: np.ndarray, priority: np.ndarray) -> np.ndarray:
+def select_settlers(keys: np.ndarray, priority: np.ndarray, xp=np) -> np.ndarray:
     """Pick, per key, the candidate with the smallest priority.
 
     Parameters
@@ -53,15 +53,15 @@ def select_settlers(keys: np.ndarray, priority: np.ndarray) -> np.ndarray:
     >>> select_settlers(np.array([4, 2, 4]), np.array([1, 0, 0])).tolist()
     [1, 2]
     """
-    order = np.lexsort((priority, keys))
+    order = xp.lexsort((priority, keys))
     sorted_keys = keys[order]
-    first = np.ones(order.size, dtype=bool)
+    first = xp.ones(order.size, dtype=bool)
     first[1:] = sorted_keys[1:] != sorted_keys[:-1]
     return order[first]
 
 
 def settle_vacant_starts(
-    occupied: np.ndarray, starts: np.ndarray, priority: np.ndarray
+    occupied: np.ndarray, starts: np.ndarray, priority: np.ndarray, backend=None
 ) -> np.ndarray:
     """Round-0 pass: per vacant start vertex, the best-priority particle wins.
 
@@ -71,10 +71,15 @@ def settle_vacant_starts(
     Returns the winning particle indices (empty when every start is
     already occupied).
     """
-    candidates = np.flatnonzero(~occupied[starts])
+    from repro.backends import get_backend
+
+    bk = get_backend(backend)
+    candidates = bk.flatnonzero(~occupied[starts])
     if candidates.size == 0:
         return candidates
-    winners = select_settlers(starts[candidates], priority[candidates])
+    winners = select_settlers(
+        starts[candidates], priority[candidates], xp=bk.xp
+    )
     return candidates[winners]
 
 
@@ -83,6 +88,7 @@ def chunked_vacancies(
     rep_off: np.ndarray,
     pos: np.ndarray,
     chunk: int | None = None,
+    backend=None,
 ) -> np.ndarray:
     """Indices of particles standing on vacant cells, probing in chunks.
 
@@ -98,18 +104,21 @@ def chunked_vacancies(
     ``chunk=None`` (or a chunk covering all walkers) takes the one-shot
     path unchanged.
     """
+    from repro.backends import get_backend
+
+    bk = get_backend(backend)
     if chunk is None or chunk >= pos.size:
-        return np.flatnonzero(occupied[rep_off + pos] == 0)
+        return bk.flatnonzero(occupied[rep_off + pos] == 0)
     parts = []
     for a in range(0, pos.size, chunk):
         sl = slice(a, min(a + chunk, pos.size))
-        hit = np.flatnonzero(occupied[rep_off[sl] + pos[sl]] == 0)
+        hit = bk.flatnonzero(occupied[rep_off[sl] + pos[sl]] == 0)
         if hit.size:
             hit += a
             parts.append(hit)
     if not parts:
-        return np.empty(0, dtype=np.intp)
-    return np.concatenate(parts)
+        return bk.xp.empty(0, dtype=np.intp)
+    return bk.xp.concatenate(parts)
 
 
 def settle_vacant_starts_inorder(occupied, starts, settled_at, settle_order) -> list:

@@ -102,6 +102,7 @@ _BATCHED_KWARGS = {
         "max_rounds",
         "tail_threshold",
         "state_budget",
+        "backend",
     },
     "sequential": {
         "lazy",
@@ -111,10 +112,18 @@ _BATCHED_KWARGS = {
         "max_total_steps",
         "tail_threshold",
         "state_budget",
+        "backend",
     },
-    "uniform": {"record", "faithful_r", "num_particles", "max_ticks", "state_budget"},
-    "ctu": {"rate", "record", "num_particles", "state_budget"},
-    "c-sequential": {"rate", "record", "state_budget"},
+    "uniform": {
+        "record",
+        "faithful_r",
+        "num_particles",
+        "max_ticks",
+        "state_budget",
+        "backend",
+    },
+    "ctu": {"rate", "record", "num_particles", "state_budget", "backend"},
+    "c-sequential": {"rate", "record", "state_budget", "backend"},
 }
 
 #: Batched-only performance knobs: understood by (some of) the lock-step
@@ -123,8 +132,11 @@ _BATCHED_KWARGS = {
 #: of crashing the fallback.  Pure performance knobs — stripping never
 #: changes a sample.  ``state_budget`` qualifies because the serial
 #: drivers are inherently one-repetition-resident: running them *is* the
-#: tightest cohort a budget could ask for.
-_BATCHED_ONLY_KWARGS = frozenset({"tail_threshold", "state_budget"})
+#: tightest cohort a budget could ask for.  ``backend`` qualifies because
+#: the serial drivers are the host-numpy reference oracles: every
+#: registered exact-bitstream backend replays their streams double for
+#: double, so the serial path *is* the backend-independent answer.
+_BATCHED_ONLY_KWARGS = frozenset({"tail_threshold", "state_budget", "backend"})
 
 
 def serial_kwargs(process: str, kwargs: dict) -> dict:
@@ -573,6 +585,16 @@ def estimate_dispersion(
         applies per worker and shards align to whole cohorts.  Budgets
         never change a sample — every cohort shape replays the serial
         streams bit for bit.
+        ``backend=`` (a registered name like ``"numpy_strict"`` or an
+        :class:`repro.backends.ArrayBackend` instance) selects the array
+        backend the lock-step drivers execute on; unset, the
+        ``REPRO_BACKEND`` environment variable and then the ``numpy``
+        default apply.  Backends pickle by registry name, so the kwarg
+        fans out to shard workers unchanged.  Serial paths strip it
+        (they are the host-numpy reference oracles); exact-bitstream
+        backends never change a sample, and non-bitstream backends are
+        instead held to the statistical contract of
+        :mod:`repro.backends.contract`.
 
     Examples
     --------

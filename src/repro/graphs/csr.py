@@ -89,24 +89,44 @@ class Graph:
     for conversion code.
     """
 
-    __slots__ = ("indptr", "indices", "name", "_degrees", "_num_edges", "_slot_base")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "name",
+        "backend",
+        "_degrees",
+        "_num_edges",
+        "_slot_base",
+    )
 
-    def __init__(self, indptr, indices, *, name: str = "graph", validate: bool = True):
-        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
-        indices = np.ascontiguousarray(indices, dtype=np.int64)
+    def __init__(
+        self,
+        indptr,
+        indices,
+        *,
+        name: str = "graph",
+        validate: bool = True,
+        backend=None,
+    ):
+        from repro.backends import get_backend
+
+        self.backend = get_backend(backend)
+        indptr = self.backend.ascontiguousarray(indptr, dtype=np.int64)
+        indices = self.backend.ascontiguousarray(indices, dtype=np.int64)
         if validate:
             self._validate(indptr, indices)
         self.indptr = indptr
         self.indices = indices
         self.name = name
-        self._degrees = np.diff(indptr)
+        self._degrees = self.backend.xp.diff(indptr)
         self._num_edges: int | None = None
         self._slot_base: int | None = None  # lazy: constant degree, or -1
         # Freeze the arrays: Graph instances are shared between processes
         # and cached; accidental mutation would corrupt every consumer.
-        self.indptr.setflags(write=False)
-        self.indices.setflags(write=False)
-        self._degrees.setflags(write=False)
+        # (Host-array concept: device backends without setflags skip it.)
+        for arr in (self.indptr, self.indices, self._degrees):
+            if hasattr(arr, "setflags"):
+                arr.setflags(write=False)
 
     # ------------------------------------------------------------------
     # construction
@@ -307,11 +327,8 @@ class Graph:
         if base >= 0:
             flat = positions * base + offsets
         else:
-            flat = self.indptr[positions] + offsets
-        if out is None:
-            return self.indices[flat]
-        np.take(self.indices, flat, out=out)
-        return out
+            flat = self.backend.take(self.indptr, positions) + offsets
+        return self.backend.take(self.indices, flat, out=out)
 
     def has_edge(self, u: int, v: int) -> bool:
         """True if at least one ``{u, v}`` edge exists."""

@@ -339,7 +339,7 @@ class UniformStreams:
     True
     """
 
-    __slots__ = ("gens", "block", "buf", "flat", "fetched", "_align")
+    __slots__ = ("gens", "block", "buf", "flat", "fetched", "_align", "backend")
 
     def __init__(
         self,
@@ -349,7 +349,11 @@ class UniformStreams:
         align: int | None = None,
         block: int | None = None,
         budget_doubles: int | None = None,
+        backend=None,
     ):
+        from repro.backends import get_backend
+
+        self.backend = get_backend(backend)
         self.gens = list(gens)
         self.block = resolve_stream_block(
             len(self.gens),
@@ -358,15 +362,16 @@ class UniformStreams:
             block=block,
             budget_doubles=budget_doubles,
         )
-        self.buf = np.empty((len(self.gens), self.block), dtype=np.float64)
+        self.buf = self.backend.empty((len(self.gens), self.block), dtype=np.float64)
         self.flat = self.buf.reshape(-1)
-        self.fetched = np.zeros(len(self.gens), dtype=np.int64)
+        self.fetched = self.backend.zeros(len(self.gens), dtype=np.int64)
         self._align = align
 
     def fill(self, rows) -> None:
         """Fetch a whole fresh chunk for each repetition in ``rows``."""
+        fill_uniform = self.backend.fill_uniform
         for r in rows:
-            self.gens[r].random(out=self.buf[r])
+            fill_uniform(self.gens[r], self.buf[r])
             self.fetched[r] += self.block
 
     def refill_tail(self, r: int, ptr: int) -> None:
@@ -381,7 +386,7 @@ class UniformStreams:
         if rem:
             self.buf[r, :rem] = self.buf[r, ptr:]
         if ptr:
-            self.gens[r].random(out=self.buf[r, rem:])
+            self.backend.fill_uniform(self.gens[r], self.buf[r, rem:])
             self.fetched[r] += ptr
 
     def tail(self, r: int, ptr: int) -> UniformStream:

@@ -32,6 +32,7 @@ def neighbor_step(
     positions: np.ndarray,
     u: np.ndarray,
     out: np.ndarray | None = None,
+    xp=np,
 ) -> np.ndarray:
     """One simple-random-walk step through a graph-provided slot kernel.
 
@@ -40,12 +41,15 @@ def neighbor_step(
     kernel-less objects); ``u`` and ``positions`` must share a 1-D shape.
     Shared by :class:`WalkEngine` and the batched cross-repetition drivers
     in :mod:`repro.core.batched`, which assemble ``u`` from per-repetition
-    streams.
+    streams.  ``xp`` is the array namespace of the active
+    :class:`repro.backends.ArrayBackend` (numpy by default); callers on a
+    non-default backend pass ``backend.xp`` so the offset arithmetic stays
+    on the backend's arrays.
     """
     deg = degrees[positions]
     offsets = (u * deg).astype(np.int64)
     # floating-point guard: u < 1 ensures offsets < deg, but be explicit
-    np.minimum(offsets, deg - 1, out=offsets)
+    xp.minimum(offsets, deg - 1, out=offsets)
     return kernel(positions, offsets, out)
 
 
@@ -104,11 +108,15 @@ class WalkEngine:
     True
     """
 
-    __slots__ = ("graph", "rng", "_kernel", "_degrees")
+    __slots__ = ("graph", "rng", "backend", "_kernel", "_degrees", "_xp")
 
-    def __init__(self, g: Graph, seed=None):
+    def __init__(self, g: Graph, seed=None, backend=None):
+        from repro.backends import backend_of
+
         self.graph = g
         self.rng = as_generator(seed)
+        self.backend = backend_of(g, backend)
+        self._xp = self.backend.xp
         self._kernel = neighbor_kernel(g)
         self._degrees = g.degrees
 
@@ -120,7 +128,9 @@ class WalkEngine:
         updates (aliasing is safe: all reads happen before the write).
         """
         u = self.rng.random(positions.shape[0])
-        return neighbor_step(self._kernel, self._degrees, positions, u, out)
+        return neighbor_step(
+            self._kernel, self._degrees, positions, u, out, xp=self._xp
+        )
 
     def step_batch(
         self,
@@ -181,8 +191,9 @@ class WalkEngine:
             self._kernel,
             self._degrees,
             positions.reshape(-1),
-            np.ascontiguousarray(u).reshape(-1),
+            self.backend.ascontiguousarray(u).reshape(-1),
             flat_out,
+            xp=self._xp,
         )
         return out if out is not None else result.reshape(positions.shape)
 
@@ -207,7 +218,7 @@ class WalkEngine:
         self, positions: np.ndarray, active: np.ndarray
     ) -> None:
         """In-place step only the walkers flagged in boolean mask ``active``."""
-        idx = np.flatnonzero(active)
+        idx = self.backend.flatnonzero(active)
         if idx.size == 0:
             return
         positions[idx] = self.step(positions[idx])
@@ -230,8 +241,8 @@ class WalkEngine:
         self, start: int, steps: int, walkers: int
     ) -> np.ndarray:
         """Empirical law of ``X_steps`` from ``walkers`` i.i.d. walks."""
-        pos = np.full(walkers, start, dtype=np.int64)
+        pos = self.backend.full(walkers, start, dtype=np.int64)
         for _ in range(steps):
             self.step(pos, out=pos)
-        counts = np.bincount(pos, minlength=self.graph.n)
+        counts = self.backend.bincount(pos, minlength=self.graph.n)
         return counts / walkers

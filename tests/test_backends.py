@@ -1,0 +1,306 @@
+"""Unit tests for the pluggable array-backend seam.
+
+Covers the registry (round-trip, shadowing, unregistration), the
+selection precedence (explicit kwarg > graph-bound > ``REPRO_BACKEND``
+env > numpy default), capability flags, protocol conformance of both
+in-repo backends, strict-mode dtype policing, pickling by name (the
+fan-out transport), end-to-end byte-identity of ``numpy_strict``, and
+the anytime-valid KS contract for future non-bitstream backends.
+
+The driver-level backend axis (every process, every registered
+exact-bitstream backend, vs the serial oracle) lives in
+``tests/test_differential_drivers.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.backends as bk_mod
+from repro.backends import (
+    AnytimeKS,
+    ArrayBackend,
+    NumpyBackend,
+    NumpyStrictBackend,
+    available_backends,
+    backend_of,
+    get_backend,
+    ks_statistic,
+    register_backend,
+)
+from repro.backends import ENV_VAR, unregister_backend
+from repro.graphs import cycle_graph
+
+
+# ----------------------------------------------------------------------
+# registry + selection
+# ----------------------------------------------------------------------
+class _DummyBackend(NumpyBackend):
+    name = "dummy_for_tests"
+
+
+class TestRegistry:
+    def test_default_backends_are_registered(self):
+        names = available_backends()
+        assert names[0] == "numpy"  # default leads
+        assert "numpy_strict" in names
+
+    def test_round_trip_register_resolve_unregister(self):
+        dummy = _DummyBackend()
+        register_backend(dummy)
+        try:
+            assert get_backend("dummy_for_tests") is dummy
+            assert "dummy_for_tests" in available_backends()
+        finally:
+            unregister_backend("dummy_for_tests")
+        assert "dummy_for_tests" not in available_backends()
+
+    def test_reregistering_requires_overwrite(self):
+        dummy = _DummyBackend()
+        register_backend(dummy)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend(_DummyBackend())
+            shadow = _DummyBackend()
+            register_backend(shadow, overwrite=True)
+            assert get_backend("dummy_for_tests") is shadow
+        finally:
+            unregister_backend("dummy_for_tests")
+
+    def test_register_rejects_non_backends_and_abstract_names(self):
+        with pytest.raises(TypeError, match="ArrayBackend instance"):
+            register_backend(np)  # a module is not a backend
+        with pytest.raises(ValueError, match="concrete"):
+            register_backend(ArrayBackend())
+
+    def test_default_cannot_be_unregistered(self):
+        with pytest.raises(ValueError, match="default"):
+            unregister_backend("numpy")
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="numpy, numpy_strict"):
+            get_backend("cuda")
+
+    def test_get_backend_rejects_non_string_specs(self):
+        with pytest.raises(TypeError, match="name or an ArrayBackend"):
+            get_backend(42)
+
+
+class TestSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert get_backend(None).name == "numpy"
+
+    def test_env_variable_selects(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy_strict")
+        assert get_backend(None).name == "numpy_strict"
+
+    def test_explicit_spec_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy_strict")
+        assert get_backend("numpy").name == "numpy"
+
+    def test_instance_passes_through(self):
+        inst = NumpyStrictBackend()
+        assert get_backend(inst) is inst
+
+    def test_backend_of_precedence(self, monkeypatch):
+        from repro.graphs.csr import Graph
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        g = cycle_graph(8)
+        assert backend_of(g).name == "numpy"
+        # graph-bound backend wins over the default
+        g_strict = Graph(
+            g.indptr, g.indices, name=g.name, backend="numpy_strict"
+        )
+        assert backend_of(g_strict).name == "numpy_strict"
+        # explicit override wins over the graph binding
+        assert backend_of(g_strict, "numpy").name == "numpy"
+
+    def test_env_reaches_graph_construction(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy_strict")
+        assert cycle_graph(8).backend.name == "numpy_strict"
+
+
+# ----------------------------------------------------------------------
+# capability flags + protocol conformance
+# ----------------------------------------------------------------------
+PRIMITIVES = (
+    "asarray",
+    "ascontiguousarray",
+    "empty",
+    "zeros",
+    "full",
+    "arange",
+    "asnumpy",
+    "take",
+    "bincount",
+    "searchsorted",
+    "cumsum",
+    "compress",
+    "flatnonzero",
+    "fill_uniform",
+)
+
+
+@pytest.mark.parametrize("name", ["numpy", "numpy_strict"])
+class TestProtocolConformance:
+    def test_capability_flags(self, name):
+        bk = get_backend(name)
+        assert bk.name == name
+        assert bk.exact_bitstream is True
+
+    def test_every_primitive_is_implemented(self, name):
+        bk = get_backend(name)
+        base = ArrayBackend()
+        for prim in PRIMITIVES:
+            assert callable(getattr(bk, prim)), prim
+            with pytest.raises(NotImplementedError):
+                # the base protocol fails loudly at unported call sites
+                getattr(base, prim)(*([np.zeros(1)] * 2)[: 1 if prim in (
+                    "asarray", "ascontiguousarray", "empty", "zeros",
+                    "arange", "asnumpy", "bincount", "cumsum", "flatnonzero",
+                ) else 2])
+
+    def test_primitive_semantics_match_numpy(self, name):
+        bk = get_backend(name)
+        assert bk.xp is np
+        a = np.asarray([5, 1, 4, 1, 3], dtype=np.int64)
+        idx = np.asarray([0, 2, 4], dtype=np.int64)
+        assert bk.take(a, idx).tolist() == [5, 4, 3]
+        out = np.empty(3, dtype=np.int64)
+        assert bk.take(a, idx, out=out).tolist() == [5, 4, 3]
+        assert bk.bincount(a, minlength=7).tolist() == [0, 2, 0, 1, 1, 1, 0]
+        sorted_a = np.sort(a)
+        assert int(bk.searchsorted(sorted_a, 3, side="left")) == 2
+        assert bk.cumsum(a).tolist() == [5, 6, 10, 11, 14]
+        mask = a > 2
+        assert bk.compress(mask, a).tolist() == [5, 4, 3]
+        assert bk.flatnonzero(mask).tolist() == [0, 2, 4]
+        assert bk.asnumpy(a) is np.asarray(a)
+
+    def test_fill_uniform_replays_generator_stream(self, name):
+        bk = get_backend(name)
+        buf = np.empty(16, dtype=np.float64)
+        bk.fill_uniform(np.random.default_rng(7), buf)
+        assert np.array_equal(buf, np.random.default_rng(7).random(16))
+
+    def test_pickles_by_name(self, name):
+        bk = get_backend(name)
+        clone = pickle.loads(pickle.dumps(bk))
+        assert clone is bk  # registry lookup, not a copy
+
+
+class TestStrictPolicing:
+    def test_rejects_non_ndarray(self):
+        strict = get_backend("numpy_strict")
+        with pytest.raises(TypeError, match="numpy.ndarray"):
+            strict.take([1, 2, 3], np.zeros(1, dtype=np.int64))
+
+    def test_rejects_off_contract_dtype(self):
+        strict = get_backend("numpy_strict")
+        with pytest.raises(TypeError, match="off-contract dtype"):
+            strict.cumsum(np.zeros(3, dtype=np.float32))
+
+    def test_rejects_non_bool_compress_mask(self):
+        strict = get_backend("numpy_strict")
+        with pytest.raises(TypeError, match="must be bool"):
+            strict.compress(
+                np.ones(3, dtype=np.int64), np.zeros(3, dtype=np.int64)
+            )
+
+    def test_rejects_non_float64_uniform_buffer(self):
+        strict = get_backend("numpy_strict")
+        with pytest.raises(TypeError, match="float64"):
+            strict.fill_uniform(
+                np.random.default_rng(0), np.empty(4, dtype=np.int64)
+            )
+
+    def test_rejects_foreign_generators(self):
+        strict = get_backend("numpy_strict")
+        with pytest.raises(TypeError, match="Generator"):
+            strict.fill_uniform(object(), np.empty(4, dtype=np.float64))
+
+
+# ----------------------------------------------------------------------
+# end-to-end byte-identity of numpy_strict
+# ----------------------------------------------------------------------
+def test_numpy_strict_is_byte_identical_on_a_driver_run():
+    """The strict assertions are pure observers: same calls, same bytes."""
+    from repro.core.batched import batched_parallel_idla
+
+    def run(backend):
+        seeds = np.random.SeedSequence(20260808).spawn(5)
+        return batched_parallel_idla(cycle_graph(24), seeds=seeds, backend=backend)
+
+    for default, strict in zip(run("numpy"), run("numpy_strict")):
+        assert default.steps.tobytes() == strict.steps.tobytes()
+        assert default.settled_at.tobytes() == strict.settled_at.tobytes()
+        assert default.settle_order.tobytes() == strict.settle_order.tobytes()
+        assert default.dispersion_time == strict.dispersion_time
+
+
+# ----------------------------------------------------------------------
+# the statistical contract (non-bitstream backends)
+# ----------------------------------------------------------------------
+class TestAnytimeKS:
+    def test_ks_statistic_matches_definition(self):
+        x = [1.0, 2.0, 3.0]
+        y = [1.0, 2.0, 3.0]
+        assert ks_statistic(x, y) == 0.0
+        assert ks_statistic([0.0] * 4, [1.0] * 4) == 1.0
+        with pytest.raises(ValueError, match="non-empty"):
+            ks_statistic([], [1.0])
+
+    def test_truthful_backend_survives_many_checkpoints(self):
+        rng = np.random.default_rng(1)
+        gate = AnytimeKS(alpha=0.05)
+        for _ in range(50):
+            v = gate.update(rng.exponential(5.0, 40), rng.exponential(5.0, 40))
+            assert not v.reject, (v.statistic, v.threshold)
+        assert v.checks == 50 and v.margin > 0
+
+    def test_shifted_distribution_is_eventually_rejected(self):
+        rng = np.random.default_rng(2)
+        gate = AnytimeKS(alpha=0.05)
+        for _ in range(60):
+            v = gate.update(
+                rng.exponential(5.0, 200), rng.exponential(9.0, 200)
+            )
+            if v.reject:
+                break
+        assert v.reject and v.margin < 0
+
+    def test_rejection_is_sticky(self):
+        gate = AnytimeKS(alpha=0.2)
+        first = None
+        for _ in range(40):
+            first = gate.update(np.zeros(50), np.ones(50))
+            if first.reject:
+                break
+        assert first is not None and first.reject
+        again = gate.update(np.zeros(5), np.zeros(5))
+        assert again is first  # the rejecting verdict is frozen
+
+    def test_lanes_may_progress_unevenly(self):
+        rng = np.random.default_rng(3)
+        gate = AnytimeKS()
+        gate.update(rng.normal(size=30), rng.normal(size=5))
+        v = gate.update([], rng.normal(size=25))
+        assert v.n_x == 30 and v.n_y == 30
+
+    def test_first_checkpoint_requires_both_lanes(self):
+        gate = AnytimeKS()
+        with pytest.raises(ValueError, match="both lanes"):
+            gate.update([1.0, 2.0], [])
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            AnytimeKS(alpha=0.0)
+
+    def test_module_reference_is_exported(self):
+        # docs and third-party gates import these from the package root
+        assert bk_mod.AnytimeKS is AnytimeKS

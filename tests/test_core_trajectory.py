@@ -118,7 +118,8 @@ def test_store_is_chunk_size_invariant(monkeypatch, chunk):
     ref = run()
     monkeypatch.setattr(traj_mod, "_CHUNK", chunk)
     # _ChunkedLog reads the default at construction time via TrajectoryStore
+    # (defaults tuple covers the trailing (chunk, backend) parameters)
     monkeypatch.setattr(
-        traj_mod._ChunkedLog.__init__, "__defaults__", (chunk,)
+        traj_mod._ChunkedLog.__init__, "__defaults__", (chunk, None)
     )
     assert run() == ref
