@@ -124,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
         "e.g. numpy_strict); unset, the REPRO_BACKEND environment "
         "variable then the numpy default apply",
     )
+    run.add_argument(
+        "--kernels",
+        default=None,
+        metavar="NAME",
+        help="compiled inner-loop kernel provider for the lock-step "
+        "drivers (numba, cffi, numpy); unset, the REPRO_KERNELS "
+        "environment variable then auto-detection apply",
+    )
 
     sw = sub.add_parser("sweep", help="sweep sizes and fit scaling laws")
     sw.add_argument("family")
@@ -234,6 +242,16 @@ def _cmd_run(args, out) -> int:
 
         try:
             kwargs["backend"] = get_backend(args.backend)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.kernels is not None:
+        from repro.kernels import get_kernels
+
+        try:
+            # resolve eagerly so an unknown/unavailable provider fails
+            # here with a clean message, not deep inside a driver
+            kwargs["kernels"] = get_kernels(args.kernels)
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2

@@ -98,6 +98,8 @@ from repro.core.settlement import (
 from repro.core.stopping_rules import StoppingRule, standard_rule
 from repro.core.trajectory import TrajectoryStore
 from repro.graphs.csr import Graph, neighbor_kernel
+from repro.kernels import csr_arrays, get_kernels
+from repro.utils.validation import check_integer
 from repro.utils.rng import (
     UniformStream,
     UniformStreams,
@@ -222,6 +224,7 @@ def _resolve_generators(seeds, seed, reps) -> list[np.random.Generator]:
         return gens
     if reps is None:
         raise ValueError("either `seeds` or `reps` must be given")
+    reps = check_integer("reps", reps)
     if reps < 0:
         raise ValueError(f"reps must be >= 0, got {reps}")
     return spawn_generators(seed, reps)
@@ -230,7 +233,7 @@ def _resolve_generators(seeds, seed, reps) -> list[np.random.Generator]:
 def _resolve_tail_threshold(tail_threshold) -> int:
     if tail_threshold is None:
         return _TAIL_THRESHOLD
-    threshold = int(tail_threshold)
+    threshold = check_integer("tail_threshold", tail_threshold)
     if threshold < 0:
         raise ValueError(f"tail_threshold must be >= 0, got {tail_threshold}")
     return threshold
@@ -259,6 +262,8 @@ def _finish_parallel_rep(
     settled_row,
     round_row,
     traj_rows=None,
+    kern=None,
+    csr=None,
 ):
     """Run one straggler repetition to completion with the scalar micro-loop.
 
@@ -271,8 +276,16 @@ def _finish_parallel_rep(
     — when recording — appends to ``traj_rows``, the repetition's
     :meth:`TrajectoryStore.handoff` lists (one vertex per particle per
     round, holds included, the serial record shape).
+
+    ``kern``/``csr`` (a compiled :class:`repro.kernels.KernelSet` and the
+    graph's host CSR arrays) delegate the dominant single-straggler loop
+    to the compiled twin; the caller passes them only when the run's
+    gates hold (default rule, no recording, exact-bitstream backend).
+    Multi-particle rounds write occupancy through a ``uint8`` view of the
+    boolean row, so the compiled loop and the Python contest see the same
+    cells.
     """
-    occl = occ_row.tolist()
+    occl = occ_row.view(np.uint8) if kern is not None else occ_row.tolist()
     uniform = tail.uniform
     rec = traj_rows is not None
     k = len(pids)
@@ -284,6 +297,16 @@ def _finish_parallel_rep(
             v = positions[0]
             row = traj_rows[p] if rec else None
             guard = k > scalar_threshold  # serial wide phase uses the vector step
+            if kern is not None:
+                v, t = kern.finish_parallel_single(
+                    csr[0], csr[1], occl, tail,
+                    v=v, t=t, lazy=lazy, guard=guard, budget=budget,
+                    limit_msg=f"parallel IDLA exceeded max_rounds={max_rounds}",
+                )
+                steps_row[p] = t
+                settled_row[p] = v
+                round_row[p] = t
+                return
             while True:
                 t += 1
                 if t > budget:
@@ -411,6 +434,7 @@ def batched_parallel_idla(
     tail_threshold: int | None = None,
     state_budget=None,
     backend=None,
+    kernels=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Parallel-IDLA realisations in lock-step.
 
@@ -451,6 +475,14 @@ def batched_parallel_idla(
         backends (``numpy``, ``numpy_strict``) leave every sample
         bit-identical; non-bitstream backends are gated on the
         statistical contract instead (``repro.backends.contract``).
+    kernels:
+        :class:`repro.kernels.KernelSet` (or provider name) for the
+        compiled inner-loop layer.  Defaults to the ``REPRO_KERNELS``
+        environment selection, then auto-detection.  Compiled kernels
+        engage only on exact-bitstream backends with a materialised host
+        CSR, and are a performance knob only — every sample stays
+        bit-identical to the serial oracle (the differential harness pins
+        this per provider).
 
     Returns
     -------
@@ -466,14 +498,16 @@ def batched_parallel_idla(
     [True, True, True]
     """
     n = g.n
-    m = n if num_particles is None else int(num_particles)
+    m = n if num_particles is None else check_integer("num_particles", num_particles)
     if m < 1:
         raise ValueError(f"num_particles must be >= 1, got {m}")
     if tie_break not in ("index", "random"):
         raise ValueError(f"tie_break must be 'index' or 'random', got {tie_break!r}")
+    scalar_threshold = check_integer("scalar_threshold", scalar_threshold)
     tail_total = _resolve_tail_threshold(tail_threshold)
     bk = backend_of(g, backend)
     xp = bk.xp
+    kern = get_kernels(kernels)
     gens = _resolve_generators(seeds, seed, reps)
     R = len(gens)
     if R == 0:
@@ -501,6 +535,7 @@ def batched_parallel_idla(
                     tail_threshold=tail_threshold,
                     state_budget=state_budget,
                     backend=bk,
+                    kernels=kern,
                 )
             )
         return out
@@ -653,6 +688,17 @@ def batched_parallel_idla(
     rebuild()
     kernel = neighbor_kernel(g)
     degrees_g = g.degrees
+    # compiled inner-loop layer: engages only under the bit-identity
+    # contract (exact-bitstream backend) and, for the step/finisher, a
+    # materialised host CSR.  The settlement kernel needs no CSR, so it
+    # serves implicit families too.
+    compiled = kern.compiled and bk.exact_bitstream
+    fused = kern.stepper(g) if compiled else None
+    csr = csr_arrays(g) if compiled else None
+    settle_scratch = kern.make_settle_scratch(n) if compiled else None
+    # narrow rounds (the settlement tail) keep the numpy expressions: the
+    # compiled call overhead only pays for itself from min_width lanes up
+    minw = kern.min_width
     # regular graphs (most of Table 1): constant degree turns the degree
     # gathers into scalar arithmetic — the round body drops to the uniform
     # lookup, the slot kernel and the occupancy probe.  The O(n) helper
@@ -674,7 +720,24 @@ def batched_parallel_idla(
             # than scalar work on the few stragglers left; hand each
             # surviving repetition its stream mid-flight and finish it
             # with the serial micro-loop.
-            adj = g.adjacency_lists()
+            fin_kern = (
+                kern
+                if compiled
+                and csr is not None
+                and use_default_rule
+                and store is None
+                else None
+            )
+            # the compiled single-straggler loop walks the CSR directly;
+            # adjacency lists are only needed for the Python rounds
+            # (multi-particle stragglers, or the lazy wide shape at k=1)
+            adj = (
+                None
+                if fin_kern is not None
+                and int(k.max()) == 1
+                and not (lazy and scalar_threshold < 1)
+                else g.adjacency_lists()
+            )
             for r in xp.unique(rep_ids).tolist():
                 mask = rep_ids == r
                 prio_row = prio2d[r] if prio2d is not None else None
@@ -699,6 +762,8 @@ def batched_parallel_idla(
                     settled_row=settled2d[r],
                     round_row=round2d[r],
                     traj_rows=store.handoff(r) if store is not None else None,
+                    kern=fin_kern,
+                    csr=csr,
                 )
             break
         t += 1
@@ -716,14 +781,22 @@ def batched_parallel_idla(
             # one-shot body would put it.
             for a in range(0, rep_ids.size, step_chunk):
                 sl = slice(a, min(a + step_chunk, rep_ids.size))
+                wide_enough = fused is not None and sl.stop - sl.start >= minw
                 if lazy:
                     we = wide_exp[sl]
                     u = buf_flat[bidx[sl]]
                     u2 = buf_flat[bidx[sl] + xp.where(we, k_exp[sl], 0)]
                     move = u >= 0.5
                     ustep = xp.where(we, u2, 2.0 * (u - 0.5))
-                    new = neighbor_step(kernel, degrees_g, pos[sl], ustep, xp=xp)
+                    if wide_enough:
+                        new = fused(pos[sl], ustep)
+                    else:
+                        new = neighbor_step(
+                            kernel, degrees_g, pos[sl], ustep, xp=xp
+                        )
                     pos[sl] = xp.where(move, new, pos[sl])
+                elif wide_enough:
+                    pos[sl] = fused(pos[sl], buf_flat[bidx[sl]])
                 elif regular:
                     u = buf_flat[bidx[sl]]
                     offsets = (u * c_float).astype(np.int64)
@@ -741,8 +814,15 @@ def batched_parallel_idla(
             move = u >= 0.5
             # wide phase: independent step uniform; scalar tail: upper half
             ustep = xp.where(wide_exp, u2, 2.0 * (u - 0.5))
-            new = neighbor_step(kernel, degrees_g, pos, ustep, xp=xp)
+            if fused is not None and pos.size >= minw:
+                new = fused(pos, ustep)
+            else:
+                new = neighbor_step(kernel, degrees_g, pos, ustep, xp=xp)
             pos = xp.where(move, new, pos)
+        elif fused is not None and pos.size >= minw:
+            # one C pass fuses the degree gather, offset truncation and
+            # slot gather — no walker-sized transients
+            pos = fused(pos, buf_flat[bidx])
         elif regular:
             # constant degree: offsets come from scalar arithmetic and the
             # slot kernel resolves them (one CSR hop, or pure arithmetic
@@ -766,21 +846,39 @@ def batched_parallel_idla(
             store.append(rep_ids, pid, pos)
         bptr += counts
         bidx += counts_exp
-        cand = chunked_vacancies(occ, rep_off, pos, step_chunk, backend=bk)
-        if cand.size == 0:
-            continue
-        if not use_default_rule:
-            allowed = np.fromiter(
-                (bool(rule(t, int(v), True)) for v in pos[cand]),
-                dtype=bool,
-                count=cand.size,
+        if (
+            settle_scratch is not None
+            and rep_ids.size >= minw
+            and use_default_rule
+            and (step_chunk is None or step_chunk >= rep_ids.size)
+        ):
+            # fused probe + per-(repetition, vertex) contest in one pass;
+            # winner set and order identical to the lexsort path below
+            # (budgeted chunked probes keep the numpy path: the compiled
+            # probe's single pass would defeat the transient cap)
+            winners = kern.settle_round(
+                occ, rep_ids, pos, prio_flat, n, settle_scratch
             )
-            cand = cand[allowed]
+            if winners.size == 0:
+                continue
+        else:
+            cand = chunked_vacancies(
+                occ, rep_off, pos, step_chunk, backend=bk, kernels=kern
+            )
             if cand.size == 0:
                 continue
-        winners = cand[
-            select_settlers(rep_off[cand] + pos[cand], prio_flat[cand], xp=xp)
-        ]
+            if not use_default_rule:
+                allowed = np.fromiter(
+                    (bool(rule(t, int(v), True)) for v in pos[cand]),
+                    dtype=bool,
+                    count=cand.size,
+                )
+                cand = cand[allowed]
+                if cand.size == 0:
+                    continue
+            winners = cand[
+                select_settlers(rep_off[cand] + pos[cand], prio_flat[cand], xp=xp)
+            ]
         w_rep, w_pid, w_vert = rep_ids[winners], pid[winners], pos[winners]
         occ[rep_off[winners] + w_vert] = True
         w_cell = w_rep * m + w_pid
@@ -925,6 +1023,7 @@ def batched_sequential_idla(
     tail_threshold: int | None = None,
     state_budget=None,
     backend=None,
+    kernels=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Sequential-IDLA realisations in lock-step.
 
@@ -953,7 +1052,7 @@ def batched_sequential_idla(
     batch width is repetitions × active particles, wins much earlier.
     """
     n = g.n
-    m = n if num_particles is None else int(num_particles)
+    m = n if num_particles is None else check_integer("num_particles", num_particles)
     if not 1 <= m <= n:
         raise ValueError(
             f"sequential IDLA needs 1 <= num_particles <= n, got {m} (n={n})"
@@ -961,6 +1060,7 @@ def batched_sequential_idla(
     tail_total = _resolve_tail_threshold(tail_threshold)
     bk = backend_of(g, backend)
     xp = bk.xp
+    kern = get_kernels(kernels)
     gens = _resolve_generators(seeds, seed, reps)
     R = len(gens)
     if R == 0:
@@ -984,6 +1084,7 @@ def batched_sequential_idla(
                     tail_threshold=tail_threshold,
                     state_budget=state_budget,
                     backend=bk,
+                    kernels=kern,
                 )
             )
         return out
@@ -1027,6 +1128,15 @@ def batched_sequential_idla(
     adj = None  # built lazily when the finisher engages
     kernel = neighbor_kernel(g)
     degrees_g = g.degrees
+    compiled = kern.compiled and bk.exact_bitstream
+    fused = kern.stepper(g) if compiled else None
+    csr = csr_arrays(g) if compiled else None
+    minw = kern.min_width  # narrow ticks keep the numpy expressions
+    fin_kern = (
+        kern
+        if compiled and csr is not None and use_default_rule and store is None
+        else None
+    )
     ticks = 0
 
     while live.size:
@@ -1035,29 +1145,55 @@ def batched_sequential_idla(
             # the lock-step tick costs more than the serial micro-loop;
             # finish each straggler on its own stream, then land its
             # generator on the serial fetch grid.
-            if adj is None:
+            if adj is None and fin_kern is None:
                 adj = g.adjacency_lists()
             for i in range(live.size):
                 r = int(live[i])
                 tail = streams.tail(r, cursor)
-                consumed = _finish_sequential_rep(
-                    adj,
-                    occ[r * n : (r + 1) * n],
-                    starts2d[r],
-                    int(current[r]),
-                    int(pos[i]),
-                    int(pstep[i]),
-                    tail,
-                    lazy=lazy,
-                    use_default_rule=use_default_rule,
-                    rule=rule,
-                    total=ticks,
-                    budget=budget,
-                    max_total_steps=max_total_steps,
-                    steps_row=steps2d[r],
-                    settled_row=settled2d[r],
-                    traj_rows=store.handoff(r) if store is not None else None,
-                )
+                if fin_kern is not None:
+                    # compiled micro-loop (walk + settle + release chain
+                    # in one pass); same fetch cadence via take_block, so
+                    # the consumed count lands on the serial grid as the
+                    # Python loop's would
+                    consumed = fin_kern.finish_sequential(
+                        csr[0], csr[1],
+                        occ[r * n : (r + 1) * n],
+                        starts2d[r],
+                        tail,
+                        walker=int(current[r]),
+                        pos=int(pos[i]),
+                        pstep=int(pstep[i]),
+                        total=ticks,
+                        lazy=lazy,
+                        budget=budget,
+                        limit_msg=(
+                            "sequential IDLA exceeded "
+                            f"max_total_steps={max_total_steps}"
+                        ),
+                        steps_row=steps2d[r],
+                        settled_row=settled2d[r],
+                    )
+                else:
+                    consumed = _finish_sequential_rep(
+                        adj,
+                        occ[r * n : (r + 1) * n],
+                        starts2d[r],
+                        int(current[r]),
+                        int(pos[i]),
+                        int(pstep[i]),
+                        tail,
+                        lazy=lazy,
+                        use_default_rule=use_default_rule,
+                        rule=rule,
+                        total=ticks,
+                        budget=budget,
+                        max_total_steps=max_total_steps,
+                        steps_row=steps2d[r],
+                        settled_row=settled2d[r],
+                        traj_rows=store.handoff(r)
+                        if store is not None
+                        else None,
+                    )
                 streams.align_to_serial(r, consumed, tail)
             break
         if cursor == block:
@@ -1073,11 +1209,18 @@ def batched_sequential_idla(
             )
         if lazy:
             move = u >= 0.5
-            new = neighbor_step(kernel, degrees_g, pos, 2.0 * (u - 0.5), xp=xp)
+            ustep = 2.0 * (u - 0.5)
+            if fused is not None and pos.size >= minw:
+                new = fused(pos, ustep)
+            else:
+                new = neighbor_step(kernel, degrees_g, pos, ustep, xp=xp)
             pos = xp.where(move, new, pos)
             settling = move & ~occ[vert_off + pos]
         else:
-            pos = neighbor_step(kernel, degrees_g, pos, u, xp=xp)
+            if fused is not None and pos.size >= minw:
+                pos = fused(pos, u)
+            else:
+                pos = neighbor_step(kernel, degrees_g, pos, u, xp=xp)
             settling = ~occ[vert_off + pos]
         if store is not None:
             # each live repetition's walker appends its post-tick position

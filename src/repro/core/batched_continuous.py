@@ -65,7 +65,9 @@ from repro.core.sequential import _BLOCK as _SEQ_BLOCK
 from repro.core.settlement import settle_vacant_starts_inorder
 from repro.core.trajectory import ScheduleStore, TrajectoryStore
 from repro.graphs.csr import Graph, neighbor_kernel
+from repro.kernels import get_kernels
 from repro.utils.rng import UniformStreams, resolve_stream_block
+from repro.utils.validation import check_integer
 from repro.walks.continuous import poissonise_steps
 
 __all__ = [
@@ -135,14 +137,20 @@ def _init_lanes(R, n, m, starts2d, occ, settledflat, unsflat, orders):
     return lanes_list, k_list
 
 
-def _make_stepper(g: Graph, xp=np):
+def _make_stepper(g: Graph, xp=np, kernels=None):
     """One-walk-step kernel ``(positions, u) -> new positions``.
 
     The inlined :func:`repro.walks.engine.neighbor_step` with precomputed
     degree arrays, resolving slots through the graph's ``neighbor_slots``
     kernel (CSR gather or implicit arithmetic); regular graphs (most of
     Table 1) reduce the degree gathers to scalar arithmetic and allocate
-    no O(n) helpers.
+    no O(n) helpers.  Callers that resolved a compiled kernel provider on
+    an ``exact_bitstream`` backend pass it via ``kernels``; the fused
+    offset+gather (bit-identical by construction) then replaces both
+    closures whenever the graph exposes CSR arrays and the call is at
+    least ``kernels.min_width`` lanes wide — the tick-scheduled drivers
+    step one lane-sized batch at a time, so narrow runs (few repetitions)
+    stay on the numpy path where they are faster.
     """
     kernel = neighbor_kernel(g)
     degrees = g.degrees
@@ -155,15 +163,25 @@ def _make_stepper(g: Graph, xp=np):
             xp.minimum(off, c_int - 1, out=off)
             return kernel(pos, off)
 
-        return step
+    else:
+        degf = degrees.astype(np.float64)
+        degm1 = degrees - 1
 
-    degf = degrees.astype(np.float64)
-    degm1 = degrees - 1
+        def step(pos, u):
+            off = (u * degf[pos]).astype(np.int64)
+            xp.minimum(off, degm1[pos], out=off)
+            return kernel(pos, off)
 
-    def step(pos, u):
-        off = (u * degf[pos]).astype(np.int64)
-        xp.minimum(off, degm1[pos], out=off)
-        return kernel(pos, off)
+    if kernels is not None:
+        fused = kernels.stepper(g)
+        if fused is not None:
+            minw = kernels.min_width
+            numpy_step = step
+
+            def step(pos, u):
+                if pos.shape[0] >= minw:
+                    return fused(pos, u)
+                return numpy_step(pos, u)
 
     return step
 
@@ -183,6 +201,7 @@ def batched_ctu_idla(
     num_particles: int | None = None,
     state_budget=None,
     backend=None,
+    kernels=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent CTU-IDLA realisations in lock-step.
 
@@ -202,6 +221,11 @@ def batched_ctu_idla(
         Array-backend name/instance (see :mod:`repro.backends`);
         resolution order is this kwarg, then the graph's bound backend,
         then ``REPRO_BACKEND``, then numpy.
+    kernels:
+        Kernel-provider name/:class:`~repro.kernels.KernelSet` (see
+        :mod:`repro.kernels`); resolution order is this kwarg, then
+        ``REPRO_KERNELS``, then auto-detect.  Compiled providers engage
+        only on ``exact_bitstream`` backends and stay bit-identical.
 
     Returns
     -------
@@ -218,7 +242,7 @@ def batched_ctu_idla(
     [True, True, True]
     """
     n = g.n
-    m = n if num_particles is None else int(num_particles)
+    m = n if num_particles is None else check_integer("num_particles", num_particles)
     if not 1 <= m <= n:
         raise ValueError(
             f"CTU IDLA needs 1 <= num_particles <= n, got {m} (n={n})"
@@ -231,6 +255,7 @@ def batched_ctu_idla(
         return []
     bk = backend_of(g, backend)
     xp = bk.xp
+    kern = get_kernels(kernels)
     plan = plan_state(state_budget, "ctu", n, m)
     if plan.cohort_reps < R:
         # budgeted cohorts (see batched_parallel_idla): repetition r keeps
@@ -247,6 +272,7 @@ def batched_ctu_idla(
                     num_particles=num_particles,
                     state_budget=state_budget,
                     backend=bk,
+                    kernels=kern,
                 )
             )
         return out
@@ -283,7 +309,9 @@ def batched_ctu_idla(
     block = streams.block
     buf = streams.buf
     cursor = block  # forces the initial fill
-    step = _make_stepper(g, xp=xp)
+    step = _make_stepper(
+        g, xp=xp, kernels=kern if (kern.compiled and bk.exact_bitstream) else None
+    )
 
     # Every live lane consumes exactly 3 doubles per tick and all lanes
     # join at tick 0, so one shared cursor serves every buffer row; the
@@ -471,6 +499,7 @@ def batched_uniform_idla(
     max_ticks: float | None = None,
     state_budget=None,
     backend=None,
+    kernels=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Uniform-IDLA realisations in lock-step.
 
@@ -490,7 +519,7 @@ def batched_uniform_idla(
     shared countdown batches the refill checks.
     """
     n = g.n
-    m = n if num_particles is None else int(num_particles)
+    m = n if num_particles is None else check_integer("num_particles", num_particles)
     if not 1 <= m <= n:
         raise ValueError(
             f"uniform IDLA needs 1 <= num_particles <= n, got {m} (n={n})"
@@ -501,6 +530,7 @@ def batched_uniform_idla(
         return []
     bk = backend_of(g, backend)
     xp = bk.xp
+    kern = get_kernels(kernels)
     plan = plan_state(state_budget, "uniform", n, m)
     if plan.cohort_reps < R:
         # budgeted cohorts (see batched_parallel_idla): repetition r keeps
@@ -518,6 +548,7 @@ def batched_uniform_idla(
                     max_ticks=max_ticks,
                     state_budget=state_budget,
                     backend=bk,
+                    kernels=kern,
                 )
             )
         return out
@@ -566,7 +597,9 @@ def batched_uniform_idla(
     bufflat = streams.flat
     bptrL = xp.zeros(lanes.size, dtype=np.int64)
     refill_countdown = block // 3
-    step = _make_stepper(g, xp=xp)
+    step = _make_stepper(
+        g, xp=xp, kernels=kern if (kern.compiled and bk.exact_bitstream) else None
+    )
 
     schedules: list[np.ndarray] | None = None
     if faithful_r:
@@ -762,6 +795,7 @@ def batched_continuous_sequential_idla(
     record: bool | str = False,
     state_budget=None,
     backend=None,
+    kernels=None,
 ) -> list[DispersionResult]:
     """Run ``R`` independent Poissonised Sequential-IDLA realisations.
 
@@ -783,7 +817,7 @@ def batched_continuous_sequential_idla(
         return []
     walks = batched_sequential_idla(
         g, origin, seeds=gens, record=record, state_budget=state_budget,
-        backend=backend,
+        backend=backend, kernels=kernels,
     )
     results = []
     for r, res in enumerate(walks):

@@ -49,6 +49,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = [
     "StateBudget",
     "BudgetPlan",
@@ -168,14 +170,26 @@ def parse_state_budget(text: str) -> StateBudget:
 
 
 def as_state_budget(budget) -> StateBudget | None:
-    """Normalise ``None`` / spec string / :class:`StateBudget` to a budget."""
+    """Normalise ``None`` / spec / :class:`StateBudget` to a budget.
+
+    A plain ``int`` (or NumPy integer) is a byte count — the same value
+    the equivalent spec string parses to (``268435456`` and
+    ``"268435456"`` are the same budget), so every seam that takes a
+    budget (``estimate_dispersion``, :func:`plan_state`, the fan-out
+    runner) accepts the number directly.  Booleans are rejected: ``True``
+    silently becoming a 1-byte budget is a bug, not a spec.
+    """
     if budget is None or isinstance(budget, StateBudget):
         return budget
     if isinstance(budget, str):
         return parse_state_budget(budget)
+    if not isinstance(budget, (bool, np.bool_)) and isinstance(
+        budget, (int, np.integer)
+    ):
+        return StateBudget(bytes=int(budget))
     raise TypeError(
-        f"state_budget must be None, a StateBudget or a spec string, "
-        f"got {type(budget).__name__}"
+        f"state_budget must be None, a StateBudget, an integral byte "
+        f"count or a spec string, got {type(budget).__name__}"
     )
 
 

@@ -89,6 +89,7 @@ def chunked_vacancies(
     pos: np.ndarray,
     chunk: int | None = None,
     backend=None,
+    kernels=None,
 ) -> np.ndarray:
     """Indices of particles standing on vacant cells, probing in chunks.
 
@@ -102,12 +103,21 @@ def chunked_vacancies(
     in ascending order, exactly what the global ``flatnonzero`` returns.
 
     ``chunk=None`` (or a chunk covering all walkers) takes the one-shot
-    path unchanged.
+    path unchanged; a compiled :class:`repro.kernels.KernelSet` replaces
+    that path with a single-pass probe (no walker-sized transients) whose
+    candidate order is identical by construction.
     """
     from repro.backends import get_backend
 
     bk = get_backend(backend)
     if chunk is None or chunk >= pos.size:
+        if (
+            kernels is not None
+            and kernels.compiled
+            and pos.size >= kernels.min_width
+            and bk.exact_bitstream
+        ):
+            return kernels.vacant_candidates(occupied, rep_off, pos)
         return bk.flatnonzero(occupied[rep_off + pos] == 0)
     parts = []
     for a in range(0, pos.size, chunk):

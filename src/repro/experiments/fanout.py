@@ -59,6 +59,7 @@ import numpy as np
 
 from repro.graphs.csr import Graph
 from repro.graphs.implicit import ImplicitGraph, ImplicitGraphSpec, from_descriptor
+from repro.utils.validation import check_integer
 
 __all__ = [
     "SharedGraph",
@@ -189,6 +190,7 @@ def plan_shards(
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     k = min(n_jobs, reps)
     if max_shard is not None:
+        max_shard = check_integer("max_shard", max_shard)
         if max_shard < 1:
             raise ValueError(f"max_shard must be >= 1, got {max_shard}")
         k = min(max(k, -(-reps // max_shard)), reps)

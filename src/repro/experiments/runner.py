@@ -52,6 +52,7 @@ from repro.core.uniform import uniform_idla
 from repro.experiments.stats import SummaryStats, summarize
 from repro.graphs.csr import Graph
 from repro.utils.rng import as_seed_sequence, stable_seed
+from repro.utils.validation import check_integer
 
 __all__ = [
     "PROCESS_DRIVERS",
@@ -103,6 +104,7 @@ _BATCHED_KWARGS = {
         "tail_threshold",
         "state_budget",
         "backend",
+        "kernels",
     },
     "sequential": {
         "lazy",
@@ -113,6 +115,7 @@ _BATCHED_KWARGS = {
         "tail_threshold",
         "state_budget",
         "backend",
+        "kernels",
     },
     "uniform": {
         "record",
@@ -121,9 +124,10 @@ _BATCHED_KWARGS = {
         "max_ticks",
         "state_budget",
         "backend",
+        "kernels",
     },
-    "ctu": {"rate", "record", "num_particles", "state_budget", "backend"},
-    "c-sequential": {"rate", "record", "state_budget", "backend"},
+    "ctu": {"rate", "record", "num_particles", "state_budget", "backend", "kernels"},
+    "c-sequential": {"rate", "record", "state_budget", "backend", "kernels"},
 }
 
 #: Batched-only performance knobs: understood by (some of) the lock-step
@@ -136,7 +140,12 @@ _BATCHED_KWARGS = {
 #: the serial drivers are the host-numpy reference oracles: every
 #: registered exact-bitstream backend replays their streams double for
 #: double, so the serial path *is* the backend-independent answer.
-_BATCHED_ONLY_KWARGS = frozenset({"tail_threshold", "state_budget", "backend"})
+#: ``kernels`` qualifies for the same reason ``backend`` does: the
+#: compiled providers are pinned bit-identical to the serial loops, so
+#: the serial path already is the kernel-independent answer.
+_BATCHED_ONLY_KWARGS = frozenset(
+    {"tail_threshold", "state_budget", "backend", "kernels"}
+)
 
 
 def serial_kwargs(process: str, kwargs: dict) -> dict:
@@ -613,6 +622,7 @@ def estimate_dispersion(
             f"unknown process {process!r}; available: {sorted(PROCESS_DRIVERS)}"
         )
     _validate_driver_kwargs(process, kwargs)
+    n_jobs = check_integer("n_jobs", n_jobs)
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     if batched not in (True, False, "auto"):
@@ -629,7 +639,7 @@ def estimate_dispersion(
             g, process, origin, parent, precision, n_jobs, batched, kwargs
         )
     else:
-        reps = 16 if reps is None else reps
+        reps = 16 if reps is None else check_integer("reps", reps)
         if reps < 1:
             raise ValueError(f"reps must be >= 1, got {reps}")
         children = parent.spawn(reps)

@@ -1,0 +1,253 @@
+"""C source for the cffi kernel provider.
+
+One translation unit, compiled with plain ``-O2`` (never ``-ffast-math``:
+the offset computation ``(i64)(u * (double)deg)`` must be the same IEEE
+double multiply + truncation the numpy path performs, or the bit-identity
+contract of :mod:`repro.kernels` breaks).  The functions mirror, line for
+line, the numpy round bodies in :mod:`repro.core.batched` and the scalar
+micro-loops in ``_finish_parallel_rep`` / ``_finish_sequential_rep`` /
+:mod:`repro.walks.single` — every behavioural quirk (the *unclamped*
+``int(u * deg)`` of the scalar loops, the clamped vector step, the draw
+order around the budget checks) is deliberate and pinned by
+``tests/test_differential_drivers.py``.
+
+The loop kernels consume uniforms from a caller-provided buffer and
+return ``0`` when it runs dry; the Python wrapper refills in exactly the
+serial drivers' block cadence (see ``KernelSet`` in the package root), so
+generator fetch positions stay on the serial grid.
+"""
+
+from __future__ import annotations
+
+#: Prototypes for ``cffi.FFI.cdef`` — keep in sync with :data:`C_SOURCE`.
+CDEF = """
+typedef long long i64;
+void repro_csr_step(const i64 *indptr, const i64 *indices, const i64 *pos,
+                    const double *u, i64 *out, i64 k);
+i64 repro_vacant(const unsigned char *occ, const i64 *rep_off,
+                 const i64 *pos, i64 k, i64 *out);
+i64 repro_settle_round(const unsigned char *occ, const i64 *rep,
+                       const i64 *pos, const i64 *prio, i64 k, i64 n,
+                       i64 *best, i64 *touched, i64 *winners);
+i64 repro_finish_seq(const i64 *indptr, const i64 *indices,
+                     unsigned char *occ, const i64 *starts, i64 *steps_row,
+                     i64 *settled_row, const double *buf, i64 nbuf,
+                     i64 *state, i64 m, i64 lazy, double budget);
+i64 repro_finish_par1(const i64 *indptr, const i64 *indices,
+                      unsigned char *occ, const double *buf, i64 nbuf,
+                      i64 *state, i64 lazy, i64 guard, double budget);
+i64 repro_walk_fill(const i64 *indptr, const i64 *indices, i64 *out,
+                    i64 steps, const double *buf, i64 nbuf, i64 *state);
+i64 repro_walk_hit(const i64 *indptr, const i64 *indices,
+                   const unsigned char *hit, const double *buf, i64 nbuf,
+                   i64 *state, double limit);
+"""
+
+C_SOURCE = """
+#include <stdint.h>
+#include <stdlib.h>
+
+typedef long long i64;
+
+/* Fused CSR step: deg gather, offset truncation, clamp, slot gather.
+ * Bit-identical to the numpy chain
+ *     deg = indptr[pos+1]-indptr[pos]; off = (u*deg).astype(int64);
+ *     minimum(off, deg-1); indices[indptr[pos]+off]
+ * Negative u (the lazy drivers pass 2*(u-0.5) for *hold* walkers whose
+ * result is discarded by `where`) clamps to slot 0 instead of numpy's
+ * harmless wraparound gather -- any in-range slot works, OOB does not. */
+void repro_csr_step(const i64 *indptr, const i64 *indices, const i64 *pos,
+                    const double *u, i64 *out, i64 k)
+{
+    for (i64 i = 0; i < k; i++) {
+        i64 p = pos[i];
+        i64 s = indptr[p];
+        i64 d = indptr[p + 1] - s;
+        i64 off = (i64)(u[i] * (double)d);
+        if (off > d - 1) off = d - 1;
+        if (off < 0) off = 0;
+        out[i] = indices[s + off];
+    }
+}
+
+/* Occupancy probe: indices i with occ[rep_off[i] + pos[i]] == 0,
+ * ascending -- what flatnonzero returns, in one pass with no transients. */
+i64 repro_vacant(const unsigned char *occ, const i64 *rep_off,
+                 const i64 *pos, i64 k, i64 *out)
+{
+    i64 c = 0;
+    for (i64 i = 0; i < k; i++)
+        if (!occ[rep_off[i] + pos[i]]) out[c++] = i;
+    return c;
+}
+
+static int repro_cmp_i64(const void *a, const void *b)
+{
+    i64 x = *(const i64 *)a, y = *(const i64 *)b;
+    return (x > y) - (x < y);
+}
+
+/* Fused probe + per-(repetition, vertex) contest of one settlement round.
+ * Walkers arrive grouped by repetition ascending (the flat-state
+ * invariant), so one n-cell scratch `best` (persistently -1) serves all
+ * repetitions.  Winner = smallest priority per vacant cell, first
+ * occurrence on ties (matches the stable lexsort of select_settlers);
+ * winners are emitted ordered by (repetition, vertex), i.e. by the
+ * lexsort's key.  Scratch cells are restored to -1 before returning. */
+i64 repro_settle_round(const unsigned char *occ, const i64 *rep,
+                       const i64 *pos, const i64 *prio, i64 k, i64 n,
+                       i64 *best, i64 *touched, i64 *winners)
+{
+    i64 total = 0, i = 0;
+    while (i < k) {
+        i64 r = rep[i], off = r * n, j = i, nt = 0;
+        for (; j < k && rep[j] == r; j++) {
+            i64 v = pos[j];
+            if (occ[off + v]) continue;
+            i64 b = best[v];
+            if (b < 0) { touched[nt++] = v; best[v] = j; }
+            else if (prio[j] < prio[b]) best[v] = j;
+        }
+        qsort(touched, (size_t)nt, sizeof(i64), repro_cmp_i64);
+        for (i64 q = 0; q < nt; q++) {
+            winners[total++] = best[touched[q]];
+            best[touched[q]] = -1;
+        }
+        i = j;
+    }
+    return total;
+}
+
+/* _finish_sequential_rep's inner loop.  state = [particle, pos, t, total];
+ * returns 1 when all m particles settled (state[3] = consumed doubles),
+ * 0 when the uniform buffer ran dry (resume with a fresh buffer), -1 on
+ * budget excess.  The serial loop draws u *before* the budget check and
+ * indexes nbrs *unclamped* -- both reproduced exactly. */
+i64 repro_finish_seq(const i64 *indptr, const i64 *indices,
+                     unsigned char *occ, const i64 *starts, i64 *steps_row,
+                     i64 *settled_row, const double *buf, i64 nbuf,
+                     i64 *state, i64 m, i64 lazy, double budget)
+{
+    i64 particle = state[0], pos = state[1], t = state[2], total = state[3];
+    i64 i = 0;
+    for (;;) {
+        if (i >= nbuf) {
+            state[0] = particle; state[1] = pos;
+            state[2] = t; state[3] = total;
+            return 0;
+        }
+        double u = buf[i++];
+        total += 1;
+        t += 1;
+        if ((double)total > budget) {
+            state[0] = particle; state[1] = pos;
+            state[2] = t; state[3] = total;
+            return -1;
+        }
+        if (lazy) {
+            if (u < 0.5) continue;
+            u = 2.0 * (u - 0.5);
+        }
+        {
+            i64 s = indptr[pos];
+            i64 d = indptr[pos + 1] - s;
+            pos = indices[s + (i64)(u * (double)d)];
+        }
+        if (occ[pos]) continue;
+        occ[pos] = 1;
+        steps_row[particle] = t;
+        settled_row[particle] = pos;
+        particle += 1;
+        while (particle < m) {           /* instant_settle_chain */
+            i64 v = starts[particle];
+            if (occ[v]) break;
+            occ[v] = 1;
+            steps_row[particle] = 0;
+            settled_row[particle] = v;
+            particle += 1;
+        }
+        if (particle == m) {
+            state[0] = particle; state[1] = pos;
+            state[2] = t; state[3] = total;
+            return 1;
+        }
+        pos = starts[particle];
+        t = 0;
+    }
+}
+
+/* The k == 1 branch of _finish_parallel_rep: one straggler particle, no
+ * contest.  state = [v, t]; returns 1 settled, 0 buffer dry, -1 budget.
+ * `guard` is the serial wide-phase flag (k > scalar_threshold): clamped
+ * vector-step offsets when set, the raw scalar truncation otherwise. */
+i64 repro_finish_par1(const i64 *indptr, const i64 *indices,
+                      unsigned char *occ, const double *buf, i64 nbuf,
+                      i64 *state, i64 lazy, i64 guard, double budget)
+{
+    i64 v = state[0], t = state[1], i = 0;
+    for (;;) {
+        if (i >= nbuf) { state[0] = v; state[1] = t; return 0; }
+        t += 1;
+        if ((double)t > budget) { state[0] = v; state[1] = t; return -1; }
+        double u = buf[i++];
+        if (lazy) {
+            if (u < 0.5) continue;
+            u = 2.0 * (u - 0.5);
+        }
+        {
+            i64 s = indptr[v];
+            i64 d = indptr[v + 1] - s;
+            i64 off = (i64)(u * (double)d);
+            if (guard && off >= d) off = d - 1;
+            v = indices[s + off];
+        }
+        if (occ[v]) continue;
+        occ[v] = 1;
+        state[0] = v;
+        state[1] = t;
+        return 1;
+    }
+}
+
+/* random_walk's loop: fill out[state[0]+1 ..] until `steps` steps taken.
+ * state = [t, pos]; returns 1 done, 0 buffer dry. */
+i64 repro_walk_fill(const i64 *indptr, const i64 *indices, i64 *out,
+                    i64 steps, const double *buf, i64 nbuf, i64 *state)
+{
+    i64 t = state[0], pos = state[1], i = 0;
+    while (t < steps) {
+        if (i >= nbuf) { state[0] = t; state[1] = pos; return 0; }
+        double u = buf[i++];
+        i64 s = indptr[pos];
+        i64 d = indptr[pos + 1] - s;
+        pos = indices[s + (i64)(u * (double)d)];
+        t += 1;
+        out[t] = pos;
+    }
+    state[0] = t;
+    state[1] = pos;
+    return 1;
+}
+
+/* walk_until_hit's loop.  state = [steps, pos]; returns 1 on hit,
+ * 0 buffer dry, -1 when `limit` steps elapsed without a hit. */
+i64 repro_walk_hit(const i64 *indptr, const i64 *indices,
+                   const unsigned char *hit, const double *buf, i64 nbuf,
+                   i64 *state, double limit)
+{
+    i64 steps = state[0], pos = state[1], i = 0;
+    for (;;) {
+        if (i >= nbuf) { state[0] = steps; state[1] = pos; return 0; }
+        double u = buf[i++];
+        i64 s = indptr[pos];
+        i64 d = indptr[pos + 1] - s;
+        pos = indices[s + (i64)(u * (double)d)];
+        steps += 1;
+        if (hit[pos]) { state[0] = steps; state[1] = pos; return 1; }
+        if ((double)steps >= limit) {
+            state[0] = steps; state[1] = pos;
+            return -1;
+        }
+    }
+}
+"""

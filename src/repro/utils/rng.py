@@ -209,6 +209,27 @@ class UniformStream:
         self._i = i + 1
         return log[i]
 
+    def take_block(self) -> np.ndarray:
+        """Next contiguous run of the stream as a float64 array.
+
+        The bulk-handoff twin of :meth:`uniform` for the compiled tail
+        finishers (:mod:`repro.kernels`): the first call returns whatever
+        buffered doubles remain unconsumed (the ``initial`` prefix and/or
+        the current block's tail), later calls fetch whole fresh blocks —
+        exactly the fetch cadence of the scalar loop, so ``drawn`` stays
+        reconcilable with the serial grid via
+        :meth:`UniformStreams.align_to_serial`.  Do not interleave with
+        the scalar accessors: the returned array is handed off whole, so
+        this stream's cursor jumps past it.
+        """
+        i = self._i
+        if i < self._n:
+            out = np.asarray(self._u[i : self._n], dtype=np.float64)
+            self._i = self._n
+            return out
+        self.drawn += self._block
+        return self._rng.random(self._block)
+
     def take(self, count: int) -> list[float]:
         """Next ``count`` doubles of the stream, in draw order.
 

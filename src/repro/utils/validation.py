@@ -13,8 +13,28 @@ __all__ = [
     "check_nonnegative",
     "check_fraction",
     "check_index",
+    "check_integer",
     "check_probability_vector",
 ]
+
+
+def check_integer(name: str, value) -> int:
+    """Validate an integral scalar kwarg and return it as plain ``int``.
+
+    Accepts Python ``int``, NumPy integers and integral floats
+    (``2.0 -> 2``); rejects booleans (``True`` silently becoming ``1``
+    is precisely the hazard) and non-integral values with a
+    ``ValueError`` naming the offending argument — the guard against the
+    ``int(...)`` coercions on public kwargs that used to truncate
+    ``2.9 -> 2`` silently.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)) and float(value).is_integer():
+        return int(value)
+    raise ValueError(f"{name} must be an integer, got {value!r}")
 
 
 def check_positive(name: str, value) -> None:
@@ -43,6 +63,8 @@ def check_fraction(name: str, value, *, inclusive: bool = False) -> None:
 
 def check_index(name: str, value, n: int) -> int:
     """Validate a vertex/particle index against size ``n`` and return it as int."""
+    if isinstance(value, (bool, np.bool_)):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
     idx = int(value)
     if idx != value:
         raise ValueError(f"{name} must be an integer, got {value!r}")

@@ -108,17 +108,29 @@ class WalkEngine:
     True
     """
 
-    __slots__ = ("graph", "rng", "backend", "_kernel", "_degrees", "_xp")
+    __slots__ = (
+        "graph", "rng", "backend", "kernels", "_kernel", "_degrees",
+        "_xp", "_fused",
+    )
 
-    def __init__(self, g: Graph, seed=None, backend=None):
+    def __init__(self, g: Graph, seed=None, backend=None, kernels=None):
         from repro.backends import backend_of
+        from repro.kernels import get_kernels
 
         self.graph = g
         self.rng = as_generator(seed)
         self.backend = backend_of(g, backend)
+        self.kernels = get_kernels(kernels)
         self._xp = self.backend.xp
         self._kernel = neighbor_kernel(g)
         self._degrees = g.degrees
+        # compiled fused step only on exact-bitstream host backends, and
+        # only for materialised-CSR graphs (stepper() returns None else)
+        self._fused = (
+            self.kernels.stepper(g)
+            if self.kernels.compiled and self.backend.exact_bitstream
+            else None
+        )
 
     # ------------------------------------------------------------------
     def step(self, positions: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
@@ -128,6 +140,8 @@ class WalkEngine:
         updates (aliasing is safe: all reads happen before the write).
         """
         u = self.rng.random(positions.shape[0])
+        if self._fused is not None:
+            return self._fused(positions, u, out)
         return neighbor_step(
             self._kernel, self._degrees, positions, u, out, xp=self._xp
         )
@@ -187,14 +201,15 @@ class WalkEngine:
             if not out.flags.c_contiguous:
                 raise ValueError("out must be C-contiguous")
             flat_out = out.reshape(-1)
-        result = neighbor_step(
-            self._kernel,
-            self._degrees,
-            positions.reshape(-1),
-            self.backend.ascontiguousarray(u).reshape(-1),
-            flat_out,
-            xp=self._xp,
-        )
+        flat_pos = positions.reshape(-1)
+        flat_u = self.backend.ascontiguousarray(u).reshape(-1)
+        if self._fused is not None:
+            result = self._fused(flat_pos, flat_u, flat_out)
+        else:
+            result = neighbor_step(
+                self._kernel, self._degrees, flat_pos, flat_u, flat_out,
+                xp=self._xp,
+            )
         return out if out is not None else result.reshape(positions.shape)
 
     def step_lazy(

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.csr import Graph
+from repro.kernels import csr_arrays, get_kernels
 from repro.utils.rng import as_generator
 
 __all__ = ["SingleWalkKernel", "random_walk", "walk_until_hit"]
@@ -58,14 +59,27 @@ class SingleWalkKernel:
         return self.step(pos)
 
 
-def random_walk(g: Graph, start: int, steps: int, seed=None) -> np.ndarray:
-    """Trajectory array of length ``steps + 1`` beginning at ``start``."""
+def random_walk(
+    g: Graph, start: int, steps: int, seed=None, *, kernels=None
+) -> np.ndarray:
+    """Trajectory array of length ``steps + 1`` beginning at ``start``.
+
+    A compiled kernel provider (``kernels`` kwarg > ``REPRO_KERNELS`` >
+    auto-detect; see :mod:`repro.kernels`) replaces the Python loop on
+    CSR graphs, bit-identical: same block cadence, same
+    ``int(u * deg)`` offsets.
+    """
     if steps < 0:
         raise ValueError(f"steps must be >= 0, got {steps}")
-    kern = SingleWalkKernel(g, seed)
     out = np.empty(steps + 1, dtype=np.int64)
+    out[0] = int(start)
+    ks = get_kernels(kernels)
+    if ks.compiled:
+        csr = csr_arrays(g)
+        if csr is not None:
+            return ks.walk_positions(csr[0], csr[1], out, as_generator(seed), _BLOCK)
+    kern = SingleWalkKernel(g, seed)
     pos = int(start)
-    out[0] = pos
     for t in range(steps):
         pos = kern.step(pos)
         out[t + 1] = pos
@@ -73,22 +87,34 @@ def random_walk(g: Graph, start: int, steps: int, seed=None) -> np.ndarray:
 
 
 def walk_until_hit(
-    g: Graph, start: int, targets, seed=None, *, max_steps: int | None = None
+    g: Graph, start: int, targets, seed=None, *,
+    max_steps: int | None = None, kernels=None,
 ) -> int:
     """Number of steps for a walk from ``start`` to reach the target set.
 
     Returns the step count (0 if ``start`` is already in the set).  Raises
     ``RuntimeError`` if ``max_steps`` is exceeded (default: no limit —
-    finite on connected graphs with probability 1).
+    finite on connected graphs with probability 1).  ``kernels`` selects
+    a compiled inner loop exactly as in :func:`random_walk`.
     """
     target_mask = np.zeros(g.n, dtype=bool)
     t_arr = np.asarray(list(targets), dtype=np.int64)
     if t_arr.size == 0:
         raise ValueError("target set must be non-empty")
     target_mask[t_arr] = True
+    if target_mask[start]:
+        return 0  # before any kernel/RNG setup: the serial path draws nothing
+    ks = get_kernels(kernels)
+    if ks.compiled:
+        csr = csr_arrays(g)
+        if csr is not None:
+            return ks.walk_until_hit(
+                csr[0], csr[1], target_mask, int(start), as_generator(seed),
+                _BLOCK,
+                float(max_steps) if max_steps is not None else float("inf"),
+                f"walk exceeded max_steps={max_steps} without hitting",
+            )
     hit = target_mask.tolist()  # plain list: fastest membership in the loop
-    if hit[start]:
-        return 0
     kern = SingleWalkKernel(g, seed)
     pos = int(start)
     steps = 0

@@ -47,6 +47,7 @@ from repro.core.budget import StateBudget
 from repro.experiments import estimate_dispersion
 from repro.experiments.runner import BATCHED_DRIVERS, PROCESS_DRIVERS
 from repro.graphs import cycle_graph
+from repro.kernels import available_kernels
 from repro.utils.rng import spawn_seed_sequences
 
 PARENT_SEED = 20260731
@@ -275,6 +276,117 @@ def test_backend_axis_matches_serial_oracle(case, backend):
     )
     tau = np.asarray([float(r.dispersion_time) for r in serial])
     assert np.array_equal(est.samples, tau)
+
+
+#: Kernel providers forced through the drivers: ``numpy`` is the always-
+#: available reference fallback; compiled providers are skipped (not
+#: silently passed) when their toolchain is absent on this host — CI runs
+#: dedicated legs with each one installed.
+KERNEL_PROVIDERS = [
+    pytest.param(
+        name,
+        marks=()
+        if ok
+        else pytest.mark.skip(reason=f"kernel provider {name!r} unavailable"),
+    )
+    for name, ok in sorted(available_kernels().items())
+]
+
+
+@pytest.mark.parametrize("kernels", KERNEL_PROVIDERS)
+@pytest.mark.parametrize("case", CASES, ids=case_id)
+def test_kernels_axis_matches_serial_oracle(case, kernels, monkeypatch):
+    """Every kernel provider replays the serial oracle bit for bit.
+
+    The compiled seam, like dispatch and the array backend, must be a
+    pure performance decision: the fused offset+gather step, the
+    counting-scatter settlement round, the vectorised vacancy probe and
+    both scalar tail finishers all engage here (``record=True`` keeps the
+    store-active paths honest too — recording disables the compiled
+    finishers but not the lock-step kernels), and every result field must
+    stay byte-identical to the per-repetition serial loop.
+
+    ``min_width`` is forced to 0 so this small graph still drives the
+    compiled array kernels — under the default width gate these rounds
+    would stay on the numpy expressions and pin nothing."""
+    from repro.kernels import CompiledKernels
+
+    monkeypatch.setattr(CompiledKernels, "min_width", 0)
+    process, kwargs = case
+    extras = EXTRAS.get(process, ())
+    if kwargs.get("faithful_r"):
+        extras = (*extras, "schedule")
+    for record in (False, True):
+        serial = serial_oracle(process, kwargs, record)
+        modes = [{}]
+        if process in TAIL_TUNABLE:
+            modes.append({"tail_threshold": 0})
+        for mode in modes:
+            for build in GRAPH_BUILDS:
+                # implicit builds expose no CSR arrays: the fused step and
+                # the finishers fall back per-graph while the settlement
+                # kernels stay engaged — both gates must be invisible
+                batch = BATCHED_DRIVERS[process](
+                    GRAPH_BUILDS[build],
+                    0,
+                    seeds=spawn_seed_sequences(PARENT_SEED, REPS),
+                    record=record,
+                    kernels=kernels,
+                    **kwargs,
+                    **mode,
+                )
+                assert len(batch) == REPS
+                for s, b in zip(serial, batch):
+                    assert_result_identical(s, b, extras)
+
+
+@pytest.mark.parametrize("kernels", KERNEL_PROVIDERS)
+@pytest.mark.parametrize("case", CASES, ids=case_id)
+def test_kernels_through_runner(case, kernels):
+    """``kernels=`` through ``estimate_dispersion``: forced batch and the
+    ``n_jobs=2`` fan-out, whose shard workers re-resolve the provider
+    from the pickled :class:`~repro.kernels.KernelSet`."""
+    process, kwargs = case
+    serial = serial_oracle(process, kwargs, False)
+    tau = np.asarray([float(r.dispersion_time) for r in serial])
+    for mode in ({"batched": True}, {"batched": True, "n_jobs": 2}):
+        est = estimate_dispersion(
+            GRAPH,
+            process,
+            reps=REPS,
+            seed=PARENT_SEED,
+            kernels=kernels,
+            **kwargs,
+            **mode,
+        )
+        assert np.array_equal(est.samples, tau), mode
+
+
+@pytest.mark.parametrize("kernels", KERNEL_PROVIDERS)
+def test_kernels_deep_tail_and_budget(kernels):
+    """Compiled finishers against a genuine mid-run handoff (reps above
+    the tail threshold) and compiled lock-step under budget cohorts."""
+    g = cycle_graph(32)
+    reps = 24
+    for process in ("sequential", "parallel"):
+        serial = [
+            PROCESS_DRIVERS[process](g, 0, seed=s)
+            for s in spawn_seed_sequences(11, reps)
+        ]
+        batch = BATCHED_DRIVERS[process](
+            g, 0, seeds=spawn_seed_sequences(11, reps), kernels=kernels
+        )
+        for s, b in zip(serial, batch):
+            assert_result_identical(s, b)
+        budgeted = BATCHED_DRIVERS[process](
+            g,
+            0,
+            seeds=spawn_seed_sequences(11, reps),
+            kernels=kernels,
+            state_budget=StateBudget(particles=32 * 9),
+        )
+        for s, b in zip(serial, budgeted):
+            assert_result_identical(s, b)
 
 
 @pytest.mark.parametrize("build", ["csr", "implicit"])

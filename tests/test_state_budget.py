@@ -77,8 +77,18 @@ def test_as_state_budget_normalises():
     assert as_state_budget(None) is None
     assert as_state_budget(b) is b
     assert as_state_budget("64p") == StateBudget(particles=64)
+
+
+def test_as_state_budget_accepts_integral_byte_counts():
+    """Regression: a plain int byte count used to raise TypeError even
+    though the identical value as a string parsed."""
+    assert as_state_budget(268435456) == as_state_budget("268435456")
+    assert as_state_budget(1024) == StateBudget(bytes=1024)
+    assert as_state_budget(np.int64(1024)) == StateBudget(bytes=1024)
     with pytest.raises(TypeError):
-        as_state_budget(1024)  # raw ints are ambiguous: bytes or particles?
+        as_state_budget(True)  # a bool is not a byte count
+    with pytest.raises(TypeError):
+        as_state_budget(1024.0)  # floats stay rejected: bytes are counted
 
 
 # ---------------------------------------------------------------------------
